@@ -1,0 +1,170 @@
+"""Ablations of the reproduction's design choices (see DESIGN.md §6).
+
+These are not paper figures; they justify the knobs the paper leaves
+open: the yield-delay constant, the history depth (the paper's T = P = 1),
+the credit-spending margin, the penalty experiment's fidelity scale, and
+the sqrt-memory-law argument of Section 7.2.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import GRAVITY, MATRIX, MVA
+from repro.core.policies import DYN_AFF
+from repro.core.policies.dyn_aff_delay import DYN_AFF_DELAY
+from repro.machine.hierarchy import TwoLevelCache, sqrt_memory_law_table
+from repro.measure.penalty import PenaltyExperiment
+from repro.measure.runner import run_mix
+
+MIX = 5
+SEED = 0
+
+
+class TestYieldDelayAblation:
+    """The 25 ms default sits on a smooth reallocation/response tradeoff."""
+
+    DELAYS_S = (0.0, 0.010, 0.025, 0.050, 0.100)
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        results = {}
+        for delay in self.DELAYS_S:
+            policy = dataclasses.replace(
+                DYN_AFF_DELAY, name=f"Delay-{delay * 1000:.0f}ms", yield_delay_s=delay
+            )
+            results[delay] = run_mix(MIX, policy, seed=SEED)
+        return results
+
+    def test_sweep_run(self, benchmark):
+        policy = dataclasses.replace(DYN_AFF_DELAY, yield_delay_s=0.025)
+        result = run_once(benchmark, run_mix, MIX, policy, SEED)
+        assert result.jobs
+
+    def test_reallocations_decrease_monotonically(self, sweep):
+        counts = [
+            sum(m.n_reallocations for m in sweep[d].jobs.values())
+            for d in self.DELAYS_S
+        ]
+        print(f"\n  delay(ms) -> reallocations: "
+              + ", ".join(f"{d*1000:.0f}:{c}" for d, c in zip(self.DELAYS_S, counts)))
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_waste_grows_with_delay(self, sweep):
+        wastes = [
+            sum(m.waste for m in sweep[d].jobs.values()) for d in self.DELAYS_S
+        ]
+        assert wastes[0] == pytest.approx(0.0)
+        assert wastes[-1] > wastes[1]
+
+    def test_response_time_stays_flat_through_default(self, sweep):
+        """Up to the 25 ms default, mean RT moves by under 5%."""
+        base = sweep[0.0].mean_response_time()
+        at_default = sweep[0.025].mean_response_time()
+        assert at_default == pytest.approx(base, rel=0.05)
+
+
+class TestHistoryDepthAblation:
+    """The paper remembers only the last task/processor; deeper histories
+    raise %affinity slightly but do not change response times — T = P = 1
+    is enough, as the paper chose."""
+
+    DEPTHS = (1, 2, 4)
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        results = {}
+        for depth in self.DEPTHS:
+            policy = dataclasses.replace(
+                DYN_AFF, name=f"Dyn-Aff-T{depth}", history_depth=depth
+            )
+            results[depth] = run_mix(MIX, policy, seed=SEED)
+        return results
+
+    def test_sweep_run(self, benchmark):
+        policy = dataclasses.replace(DYN_AFF, name="Dyn-Aff-T4", history_depth=4)
+        result = run_once(benchmark, run_mix, MIX, policy, SEED)
+        assert result.jobs
+
+    def test_response_time_insensitive_to_depth(self, sweep):
+        base = sweep[1].mean_response_time()
+        rows = []
+        for depth in self.DEPTHS:
+            r = sweep[depth]
+            rows.append(
+                f"depth {depth}: mean RT {r.mean_response_time():.1f}s, "
+                f"GRAV aff {r.jobs['GRAVITY'].pct_affinity:.0f}%"
+            )
+            assert r.mean_response_time() == pytest.approx(base, rel=0.05)
+        print("\n  " + "\n  ".join(rows))
+
+    def test_depth_one_already_captures_most_affinity(self, sweep):
+        shallow = sweep[1].jobs["MATRIX"].pct_affinity
+        deep = sweep[4].jobs["MATRIX"].pct_affinity
+        assert shallow > 0.8 * deep
+
+
+class TestFidelityScaleAblation:
+    """Penalty measurements are scale-invariant by construction; verify
+    adjacent scales agree (the scale-16 default is not load-bearing)."""
+
+    def test_scales_agree(self, benchmark):
+        def measure(scale):
+            experiment = PenaltyExperiment(
+                scale=scale, n_switches_target=20, min_run_s=1.0
+            )
+            return {
+                app.name: experiment.measure(app, 0.100, partners=()).p_na_us
+                for app in (MVA, MATRIX, GRAVITY)
+            }
+
+        coarse = run_once(benchmark, measure, 32)
+        fine = measure(16)
+        print(f"\n  P^NA at Q=100ms, scale 32 vs 16: "
+              + ", ".join(f"{a}: {coarse[a]:.0f}/{fine[a]:.0f}" for a in coarse))
+        for app in coarse:
+            assert coarse[app] == pytest.approx(fine[app], rel=0.35)
+
+
+class TestCreditMarginAblation:
+    """The credit-spending margin bounds beyond-parity bursts; response
+    times are only mildly sensitive across a 4x margin range."""
+
+    def test_margins(self, benchmark):
+        from repro.core.priority import CreditScheduler
+
+        def run_with_margin(margin):
+            original = CreditScheduler.SPEND_MARGIN
+            CreditScheduler.SPEND_MARGIN = margin
+            try:
+                return run_mix(MIX, DYN_AFF, seed=SEED).mean_response_time()
+            finally:
+                CreditScheduler.SPEND_MARGIN = original
+
+        base = run_once(benchmark, run_with_margin, 0.5)
+        results = {0.5: base}
+        for margin in (0.25, 1.0):
+            results[margin] = run_with_margin(margin)
+        print(f"\n  margin -> mean RT: "
+              + ", ".join(f"{m}: {rt:.1f}s" for m, rt in sorted(results.items())))
+        for rt in results.values():
+            assert rt == pytest.approx(base, rel=0.08)
+
+
+class TestSqrtMemoryLaw:
+    """Section 7.2's two-level-cache argument for the sqrt scaling."""
+
+    def test_table(self, benchmark):
+        rows = run_once(benchmark, sqrt_memory_law_table)
+        print("\n  speed | req. L2 hit rate (const mem) | (sqrt mem) | feasible")
+        for speed, constant, sqrt_rate, feasible in rows:
+            print(f"  {speed:6.0f} | {constant:28.4f} | {sqrt_rate:10.4f} | {feasible}")
+        cache = TwoLevelCache()
+        # Constant memory: infeasible by 10x. Sqrt law: feasible at 10x.
+        assert not cache.is_full_speedup_feasible(10.0, 1.0)
+        assert cache.is_full_speedup_feasible(10.0, math.sqrt(10.0))
+        # But even sqrt memory cannot hold effective memory speed constant
+        # forever on hit rates alone — the paper's residual point.
+        assert not cache.is_full_speedup_feasible(1000.0, math.sqrt(1000.0))

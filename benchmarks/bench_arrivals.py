@@ -1,0 +1,103 @@
+"""Extension: job arrivals and interactive response.
+
+The paper justifies the adaptive priority mechanism partly on grounds the
+closed mixes cannot show: "fairness, interactive response time, and
+resilience to countermeasures" [McCann et al. 91].  This benchmark opens
+the system: a long MATRIX job owns the machine while short interactive
+jobs arrive every few seconds.  The fair dynamic policies must carve out
+processors for each newcomer immediately (rule D.3); Dyn-Aff-NoPri — no
+preemption — makes newcomers wait for the hog's threads to end.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import APPLICATIONS
+from repro.core.policies import DYN_AFF, DYN_AFF_NOPRI, DYNAMIC, EQUIPARTITION
+from repro.core.system import SchedulingSystem
+from repro.engine.rng import RngRegistry
+from repro.machine.footprint import FootprintCurve
+from repro.threads.graph import ThreadGraph
+from repro.threads.job import Job
+
+#: Short interactive job: 8 x 0.5 s threads (1 s on 4 processors).
+SHORT_THREADS = 8
+SHORT_SERVICE = 0.5
+ARRIVALS = (5.0, 10.0, 15.0, 20.0)
+
+
+def make_short_job(name, rng):
+    graph = ThreadGraph(name)
+    for _ in range(SHORT_THREADS):
+        jitter = 1.0 + 0.1 * (2.0 * rng.random() - 1.0)
+        graph.add_thread(SHORT_SERVICE * jitter)
+    return Job(name, graph, FootprintCurve(800, 0.05), max_workers=4)
+
+
+def run_open_system(policy, seed=0):
+    rng = RngRegistry(seed)
+    matrix = APPLICATIONS["MATRIX"].make_job(rng.stream("matrix"), n_processors=16)
+    shorts = [
+        make_short_job(f"SHORT-{i}", rng.stream(f"short/{i}"))
+        for i in range(len(ARRIVALS))
+    ]
+    system = SchedulingSystem(
+        [matrix] + shorts,
+        policy,
+        n_processors=16,
+        seed=seed,
+        rng=rng.spawn(policy.name),
+        arrival_times=[0.0] + list(ARRIVALS),
+    )
+    result = system.run()
+    short_rts = [result.jobs[f"SHORT-{i}"].response_time for i in range(len(ARRIVALS))]
+    return result, sum(short_rts) / len(short_rts)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        policy.name: run_open_system(policy)
+        for policy in (EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_NOPRI)
+    }
+
+
+def test_arrivals_run(benchmark):
+    result, mean_short = run_once(benchmark, run_open_system, DYN_AFF)
+    assert mean_short > 0
+
+
+class TestInteractiveResponse:
+    def test_print(self, runs):
+        print()
+        for name, (result, mean_short) in runs.items():
+            matrix_rt = result.jobs["MATRIX"].response_time
+            print(f"  {name:14s} mean short-job RT {mean_short:6.2f} s, "
+                  f"MATRIX RT {matrix_rt:6.1f} s")
+
+    def test_fair_dynamic_policies_serve_newcomers_fast(self, runs):
+        """D.3 carves out processors within the newcomers' own runtime:
+        a 1 s job finishes in low single-digit seconds."""
+        for policy in ("Dynamic", "Dyn-Aff"):
+            _, mean_short = runs[policy]
+            assert mean_short < 3.0, (policy, mean_short)
+
+    def test_nopri_makes_newcomers_wait(self, runs):
+        """Without preemption a newcomer waits for the hog's 12 s threads."""
+        _, nopri_short = runs["Dyn-Aff-NoPri"]
+        _, fair_short = runs["Dyn-Aff"]
+        assert nopri_short > 2 * fair_short
+
+    def test_equipartition_also_serves_newcomers(self, runs):
+        """Equipartition reallocates on arrival, so newcomers do fine —
+        its weakness is waste, not admission."""
+        _, equi_short = runs["Equipartition"]
+        assert equi_short < 5.0
+
+    def test_matrix_pays_little_for_interactivity(self, runs):
+        """Serving the short jobs costs the long job only their work."""
+        fair = runs["Dyn-Aff"][0].jobs["MATRIX"].response_time
+        alone_estimate = 770 / 16  # its work on the whole machine
+        total_short_work = len(ARRIVALS) * SHORT_THREADS * SHORT_SERVICE
+        budget = alone_estimate + total_short_work / 16 + 8.0
+        assert fair < budget

@@ -1,0 +1,53 @@
+"""Figures 2-4: application characteristics in isolation on 16 processors.
+
+For each application the paper shows the thread dependence structure, the
+percentage of time spent at each level of physical parallelism, the total
+elapsed execution time, and the average processor demand.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import APPLICATIONS
+from repro.engine.rng import RngRegistry
+from repro.reporting.figures import parallelism_histogram
+
+
+def profile_app(name):
+    spec = APPLICATIONS[name]
+    graph = spec.build_graph(RngRegistry(0).stream(f"profile/{name}"))
+    return graph.parallelism_profile(16)
+
+
+@pytest.mark.parametrize("name", ["MVA", "MATRIX", "GRAVITY"])
+def test_fig2_4_parallelism_profiles(benchmark, name):
+    profile = run_once(benchmark, profile_app, name)
+    print()
+    print(parallelism_histogram(profile, name))
+
+    if name == "MVA":
+        # Figure 2: wavefront — parallelism grows then shrinks, every
+        # level up to the machine width is visited.
+        assert set(range(1, 17)) <= set(profile.time_at_level)
+        assert 5 < profile.average_demand < 14
+    elif name == "MATRIX":
+        # Figure 3: massive, constant parallelism.
+        assert profile.time_at_level.get(16, 0) > 0.85
+        assert profile.average_demand > 14
+    else:
+        # Figure 4: five-phase steps; the sequential tree build keeps a
+        # large fraction of time at parallelism one.
+        assert profile.time_at_level.get(1, 0) > 0.15
+        assert profile.time_at_level.get(16, 0) > 0.3
+
+
+def test_fig2_4_execution_time_ordering(benchmark):
+    """MATRIX is the long job, MVA the short one (drives the mix design)."""
+    profiles = run_once(
+        benchmark, lambda: {n: profile_app(n) for n in APPLICATIONS}
+    )
+    times = {n: p.execution_time for n, p in profiles.items()}
+    print()
+    for name, t in times.items():
+        print(f"  {name:8s} isolated execution time: {t:6.2f} s")
+    assert times["MVA"] < times["GRAVITY"] < times["MATRIX"]

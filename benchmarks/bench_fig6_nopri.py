@@ -1,0 +1,54 @@
+"""Figure 6: Dyn-Aff-NoPri relative to Equipartition.
+
+Sacrificing fairness to affinity makes per-job relative response times
+"extremely variable": some jobs hoard the machine, others starve.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_comparison, run_once
+from repro.measure.runner import relative_response_times
+from repro.measure.workloads import MIXES
+from repro.reporting.tables import render_relative_rt_table
+
+
+@pytest.mark.parametrize("mix_id", sorted(MIXES))
+def test_fig6_nopri_relative_rt(benchmark, mix_id):
+    comparison = run_once(benchmark, cached_comparison, mix_id, "nopri")
+    print()
+    print(render_relative_rt_table(comparison))
+    relatives = relative_response_times(comparison)["Dyn-Aff-NoPri"]
+    # Sanity only per-mix: all jobs complete with positive ratios.
+    assert all(r > 0 for r in relatives.values())
+
+
+def test_fig6_nopri_is_erratic_across_jobs(benchmark):
+    """The defining feature: per-job ratios spread far more widely than
+    under the fair dynamic policies."""
+    def spreads():
+        nopri, fair = [], []
+        for mix_id in (2, 3, 5, 6):  # heterogeneous mixes
+            rel_nopri = relative_response_times(cached_comparison(mix_id, "nopri"))
+            values = list(rel_nopri["Dyn-Aff-NoPri"].values())
+            nopri.append(max(values) - min(values))
+            rel_fair = relative_response_times(cached_comparison(mix_id, "dynamic"))
+            values = list(rel_fair["Dyn-Aff"].values())
+            fair.append(max(values) - min(values))
+        return nopri, fair
+
+    nopri, fair = run_once(benchmark, spreads)
+    print(f"\n  per-mix ratio spreads  NoPri: {[f'{s:.2f}' for s in nopri]}")
+    print(f"  per-mix ratio spreads  Dyn-Aff: {[f'{s:.2f}' for s in fair]}")
+    assert max(nopri) > 0.5, "NoPri should starve someone badly somewhere"
+    assert sum(nopri) > 2 * sum(fair), "NoPri must be far more variable"
+
+
+def test_fig6_nopri_both_hoards_and_starves(benchmark):
+    """In mix #5 MATRIX hoards (ratio << 1) while GRAVITY starves (>> 1)."""
+    relatives = run_once(
+        benchmark,
+        lambda: relative_response_times(cached_comparison(5, "nopri"))["Dyn-Aff-NoPri"],
+    )
+    print(f"\n  mix 5 NoPri relative RTs: {relatives}")
+    assert relatives["MATRIX"] < 0.8
+    assert relatives["GRAVITY"] > 1.1

@@ -1,0 +1,72 @@
+"""Extension: the measured survival ratio bridging both literatures.
+
+S&L's queueing model assumes a footprint survives each intervening task
+with ratio sigma; this paper's rebuttal is that at space-sharing
+reallocation intervals "even a single intervening task can eject large
+portions of the returning task's context".  Both statements are about
+the same measurable quantity at different Q.  This benchmark measures
+sigma(Q) on the cache simulator and shows the crossover of assumptions:
+
+* Q = 25 ms (time-sharing-like): sigma is high — S&L's regime, where
+  their model correctly predicts pronounced affinity benefits;
+* Q = 400 ms (space-sharing-like): survival after even one intervener
+  collapses — the paper's regime, where affinity hardly matters.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import GRAVITY, MATRIX, MVA
+from repro.measure.intervening import InterveningExperiment
+
+QUANTA_S = (0.025, 0.100, 0.400)
+
+
+def sweep():
+    experiment = InterveningExperiment(scale=16, n_switches_target=25)
+    return {
+        q: experiment.measure(MVA, GRAVITY, q_s=q, max_intervening=3)
+        for q in QUANTA_S
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep()
+
+
+def test_intervening_run(benchmark):
+    results = run_once(benchmark, sweep)
+    assert set(results) == set(QUANTA_S)
+
+
+class TestSurvivalBridge:
+    def test_print(self, results):
+        print()
+        print("  MVA footprint survival vs intervening GRAVITY tasks")
+        print("  Q (ms) | surv(1) | surv(2) | surv(3) | fitted sigma")
+        for q, result in results.items():
+            print(
+                f"  {q * 1000:6.0f} | {result.survival_after(1):7.3f} | "
+                f"{result.survival_after(2):7.3f} | {result.survival_after(3):7.3f} | "
+                f"{result.fitted_sigma():6.3f}"
+            )
+
+    def test_sigma_decreases_with_q(self, results):
+        sigmas = [results[q].fitted_sigma() for q in QUANTA_S]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_time_sharing_regime_preserves_data(self, results):
+        """At 25 ms, most of the footprint survives one intervener —
+        S&L's assumption holds in their domain."""
+        assert results[0.025].survival_after(1) > 0.5
+
+    def test_space_sharing_regime_destroys_data(self, results):
+        """At 400 ms, 'even a single intervening task can eject large
+        portions of the returning task's context' (Section 8.2)."""
+        assert results[0.400].survival_after(1) < 0.45
+
+    def test_penalties_monotone_in_k_at_every_q(self, results):
+        for result in results.values():
+            penalties = [result.penalty_by_k[k] for k in sorted(result.penalty_by_k)]
+            assert penalties == sorted(penalties)

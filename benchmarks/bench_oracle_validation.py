@@ -1,0 +1,60 @@
+"""Validation: the analytic footprint model vs real cache simulation.
+
+Every scheduling result in this repository prices cache reloads with the
+analytic footprint-survival model.  This benchmark replays a scaled-down
+two-job workload with reloads priced instead by live per-processor
+set-associative cache simulation (``SimulatedCacheFootprint``) and prints
+the two outcomes side by side — the end-to-end justification for using
+the fast analytic model everywhere else.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.policies import DYN_AFF, DYNAMIC
+from tests.core.test_oracle_validation import make_oracle, run_with
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    out = {}
+    for policy in (DYNAMIC, DYN_AFF):
+        analytic = run_with(policy)
+        simulated = run_with(policy, oracle=make_oracle())
+        out[policy.name] = (analytic, simulated)
+    return out
+
+
+def test_oracle_validation_run(benchmark):
+    simulated = run_once(benchmark, run_with, DYN_AFF, make_oracle())
+    assert simulated.jobs
+
+
+class TestAnalyticModelHolds:
+    def test_print_comparison(self, pairs):
+        print()
+        for policy, (analytic, simulated) in pairs.items():
+            print(f"  {policy}:")
+            for name in sorted(analytic.jobs):
+                a, s = analytic.jobs[name], simulated.jobs[name]
+                print(
+                    f"    {name:9s} RT {a.response_time:6.2f}s (analytic) vs "
+                    f"{s.response_time:6.2f}s (simulated caches)   "
+                    f"penalty {a.cache_penalty_total * 1000:6.1f} vs "
+                    f"{s.cache_penalty_total * 1000:6.1f} ms"
+                )
+
+    @pytest.mark.parametrize("policy", ["Dynamic", "Dyn-Aff"])
+    def test_response_times_within_ten_percent(self, pairs, policy):
+        analytic, simulated = pairs[policy]
+        for name in analytic.jobs:
+            assert simulated.jobs[name].response_time == pytest.approx(
+                analytic.jobs[name].response_time, rel=0.10
+            ), (policy, name)
+
+    def test_policy_ranking_preserved(self, pairs):
+        """Whatever the oracle, Dyn-Aff is never worse than Dynamic here."""
+        for oracle_index in (0, 1):
+            dyn = pairs["Dynamic"][oracle_index].mean_response_time()
+            aff = pairs["Dyn-Aff"][oracle_index].mean_response_time()
+            assert aff <= dyn * 1.05

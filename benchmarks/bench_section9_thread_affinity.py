@@ -1,0 +1,87 @@
+"""Section 9's future work: affinity inside the user-level thread package.
+
+The paper closes by noting that cache effects "can have a significant
+effect on how applications should be programmed" and announces an
+investigation of "the design of software layers above the kernel, e.g.,
+the user-level thread package".  This benchmark carries that experiment
+out on the reproduction: GRAVITY's user-level scheduler dispatches
+per-body-partition threads either FIFO (cache-oblivious) or
+data-affine — preferring the partition a worker just worked on — under
+the same kernel-level Dyn-Aff policy.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import APPLICATIONS
+from repro.core.policies import DYN_AFF
+from repro.core.system import SchedulingSystem
+from repro.engine.rng import RngRegistry
+from repro.threads.data_affinity import DataAffinitySpec
+
+#: Warm-data speedup for a thread resuming its partition: modest on a
+#: 1991 machine (the partition largely fits the cache already).
+WARM_DISCOUNT = 0.10
+
+
+def run_gravity(scheduler):
+    rng = RngRegistry(2)
+    spec = DataAffinitySpec(
+        warm_discount=WARM_DISCOUNT,
+        scheduler=scheduler,
+        search_window=128,
+        group_memory=8,
+    )
+    gravity = APPLICATIONS["GRAVITY"].make_job(
+        rng.stream("grav"), n_processors=16, data_affinity=spec
+    )
+    matrix = APPLICATIONS["MATRIX"].make_job(
+        rng.stream("mat"), n_processors=16
+    )
+    system = SchedulingSystem(
+        [gravity, matrix], DYN_AFF, n_processors=16, seed=2,
+        rng=rng.spawn(scheduler),
+    )
+    return system.run()
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {s: run_gravity(s) for s in ("fifo", "affine")}
+
+
+def test_section9_run(benchmark):
+    result = run_once(benchmark, run_gravity, "affine")
+    assert result.jobs["GRAVITY"].work > 0
+
+
+class TestUserLevelAffinity:
+    def test_affine_dispatch_reduces_gravity_work(self, runs):
+        """Warm partitions shave effective processor-seconds."""
+        fifo = runs["fifo"].jobs["GRAVITY"]
+        affine = runs["affine"].jobs["GRAVITY"]
+        print(f"\n  GRAVITY work: fifo {fifo.work:.1f} cpu-s, "
+              f"affine {affine.work:.1f} cpu-s "
+              f"({100 * (1 - affine.work / fifo.work):.1f}% saved)")
+        assert affine.work < fifo.work
+
+    def test_affine_dispatch_improves_response_time(self, runs):
+        fifo = runs["fifo"].jobs["GRAVITY"]
+        affine = runs["affine"].jobs["GRAVITY"]
+        print(f"\n  GRAVITY RT: fifo {fifo.response_time:.1f}s, "
+              f"affine {affine.response_time:.1f}s")
+        assert affine.response_time < fifo.response_time
+
+    def test_saving_bounded_by_discount(self, runs):
+        """Cannot save more than the warm discount on every thread."""
+        fifo = runs["fifo"].jobs["GRAVITY"]
+        affine = runs["affine"].jobs["GRAVITY"]
+        assert affine.work >= (1 - WARM_DISCOUNT) * fifo.work - 1e-9
+
+    def test_kernel_level_metrics_unperturbed(self, runs):
+        """The user-level layer composes with (not replaces) the kernel
+        allocator: MATRIX's behavior is essentially unchanged."""
+        fifo = runs["fifo"].jobs["MATRIX"]
+        affine = runs["affine"].jobs["MATRIX"]
+        assert affine.work == pytest.approx(fifo.work, rel=1e-6)
+        assert affine.response_time == pytest.approx(fifo.response_time, rel=0.1)

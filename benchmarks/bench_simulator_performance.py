@@ -1,0 +1,93 @@
+"""Performance of the simulation substrates themselves.
+
+Unlike the experiment benchmarks (which run once and check shapes), these
+use pytest-benchmark's repeated timing to track the throughput of the
+hot paths: the event queue, the cache simulator, the footprint model, and
+a full scheduling run.  Regressions here make every experiment slower.
+"""
+
+from repro.core.policies import DYN_AFF
+from repro.core.system import SchedulingSystem
+from repro.engine.queue import EventQueue
+from repro.engine.simulator import Simulator
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.footprint import FootprintCurve, FootprintModel
+from repro.machine.params import SEQUENT_SYMMETRY
+from repro.measure.runner import run_mix
+from tests.core.helpers import flat_job, phased_job
+
+
+def test_event_queue_throughput(benchmark):
+    """Push + pop 10k events through the binary heap."""
+
+    def churn():
+        queue = EventQueue()
+        for i in range(10_000):
+            queue.push(float(i % 97), lambda: None)
+        while queue:
+            queue.pop()
+
+    benchmark(churn)
+
+
+def test_simulator_event_dispatch(benchmark):
+    """Fire 10k self-scheduling events through the run loop."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+
+    benchmark(run)
+
+
+def test_cache_simulator_throughput(benchmark):
+    """100k accesses against the full 4096-line Symmetry cache."""
+    cache = SetAssociativeCache(SEQUENT_SYMMETRY)
+
+    def churn():
+        for i in range(100_000):
+            cache.access("t", (i * 7) % 6000)
+
+    benchmark(churn)
+
+
+def test_footprint_model_throughput(benchmark):
+    """10k note_run/reload_penalty cycles (the DES hot path)."""
+    model = FootprintModel(SEQUENT_SYMMETRY)
+    curve = FootprintCurve(w_max=2000, tau=0.05)
+
+    def churn():
+        for i in range(10_000):
+            task = f"t{i % 20}"
+            cpu = i % 16
+            model.reload_penalty(task, cpu)
+            model.note_run(task, cpu, 0.05, curve)
+
+    benchmark(churn)
+
+
+def test_scheduling_run_small(benchmark):
+    """A small two-job scheduling run, end to end."""
+
+    def run():
+        jobs = [phased_job("A", 4, 8, 0.05, 4), flat_job("B", 16, 0.5, 4)]
+        return SchedulingSystem(jobs, DYN_AFF, n_processors=8, seed=0).run()
+
+    result = benchmark(run)
+    assert result.jobs
+
+
+def test_scheduling_run_full_mix(benchmark):
+    """Workload #5 under Dyn-Aff: the workhorse of the experiment suite."""
+    result = benchmark.pedantic(
+        run_mix, args=(5, DYN_AFF), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    assert result.jobs

@@ -1,0 +1,92 @@
+"""Table 1: P^A and P^NA for every application at Q = 25/100/400 ms.
+
+Runs the Section 4 single-processor rescheduling experiment on the
+stateful cache simulator (1/16 fidelity scale; penalties in seconds are
+scale-invariant) and prints measured-vs-paper for all 36 cells.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from benchmarks.paper_values import CONTEXT_SWITCH_US, TABLE1_PA_US, TABLE1_PNA_US
+from repro.apps import APPLICATIONS
+from repro.measure.penalty import PAPER_QUANTA_S, PenaltyExperiment
+
+APPS = ("MATRIX", "MVA", "GRAVITY")
+
+
+@pytest.fixture(scope="module")
+def table1():
+    experiment = PenaltyExperiment(scale=16, n_switches_target=30)
+    return experiment.table1([APPLICATIONS[name] for name in APPS])
+
+
+def _print_table1(table):
+    print()
+    print("Table 1 — measured (paper) in usec per switch")
+    for q in PAPER_QUANTA_S:
+        print(f"  Q = {q * 1000:.0f} ms:")
+        for app in APPS:
+            r = table.result(app, q)
+            cells = [f"P^NA={r.p_na_us:5.0f} ({TABLE1_PNA_US[app][q]:4d})"]
+            for partner in APPS:
+                cells.append(
+                    f"P^A[{partner[:4]}]={r.p_a_us(partner):5.0f} "
+                    f"({TABLE1_PA_US[app][q][partner]:4d})"
+                )
+            print(f"    {app:8s} " + "  ".join(cells))
+
+
+def test_table1_measure(benchmark):
+    """Time the full Table 1 measurement and print measured-vs-paper."""
+    experiment = PenaltyExperiment(scale=16, n_switches_target=30)
+    table = run_once(
+        benchmark, experiment.table1, [APPLICATIONS[name] for name in APPS]
+    )
+    assert len(table.results) == 9
+    _print_table1(table)
+
+
+class TestTable1Shape:
+    def test_print_full_table(self, table1):
+        _print_table1(table1)
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_pna_grows_with_q(self, table1, app):
+        values = [table1.result(app, q).p_na_us for q in PAPER_QUANTA_S]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("q", PAPER_QUANTA_S)
+    def test_pa_below_pna(self, table1, app, q):
+        """Affinity always helps: every P^A is below the app's P^NA."""
+        result = table1.result(app, q)
+        for partner in APPS:
+            assert result.p_a_us(partner) < result.p_na_us
+
+    def test_cache_effects_dominate_path_length_at_large_q(self, table1):
+        """'The cache effects of a processor reallocation can exceed the
+        simple path length costs' (750 us)."""
+        for app in APPS:
+            assert table1.result(app, 0.400).p_na_us > CONTEXT_SWITCH_US
+
+    def test_gravity_smallest_at_25ms_largest_at_400ms(self, table1):
+        """GRAVITY's slow footprint build then large total footprint."""
+        at_25 = {app: table1.result(app, 0.025).p_na_us for app in APPS}
+        at_400 = {app: table1.result(app, 0.400).p_na_us for app in APPS}
+        assert at_25["GRAVITY"] == min(at_25.values())
+        assert at_400["GRAVITY"] == max(at_400.values())
+
+    def test_pna_bounded_by_full_cache_fill(self, table1):
+        """No penalty can exceed reloading the whole 4096-line cache."""
+        for app in APPS:
+            for q in PAPER_QUANTA_S:
+                assert table1.result(app, q).p_na_us <= 3072 * 1.1
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_magnitudes_within_2x_of_paper(self, table1, app):
+        """P^NA cells land within 2x of the paper's measurements."""
+        for q in PAPER_QUANTA_S:
+            measured = table1.result(app, q).p_na_us
+            paper = TABLE1_PNA_US[app][q]
+            assert paper / 2 <= measured <= paper * 2, (app, q, measured, paper)

@@ -1,0 +1,74 @@
+"""Table 3: influence of affinity on scheduling (workload #5).
+
+%affinity, #reallocations, reallocation interval and response time for
+MATRIX and GRAVITY under Dynamic, Dyn-Aff and Dyn-Aff-Delay.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_comparison, run_once
+from benchmarks.paper_values import TABLE3
+from repro.reporting.tables import render_table3
+
+POLICIES = ("Dynamic", "Dyn-Aff", "Dyn-Aff-Delay")
+JOBS = ("MATRIX", "GRAVITY")
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return cached_comparison(5, "dynamic")
+
+
+def test_table3_run(benchmark):
+    comparison = run_once(benchmark, cached_comparison, 5, "dynamic")
+    print()
+    print(render_table3(comparison, policies=POLICIES))
+    print()
+    print("paper values:")
+    for metric, per_policy in TABLE3.items():
+        row = "  ".join(
+            f"{p[:12]}/{j}={per_policy[p][j]}" for p in POLICIES for j in JOBS
+        )
+        print(f"  {metric:20s} {row}")
+
+
+class TestTable3Shape:
+    def test_affinity_policies_dramatically_raise_pct_affinity(self, comparison):
+        """Row 1: ~20-30% under Dynamic vs 50-90% under affinity variants."""
+        for job in JOBS:
+            oblivious = comparison.summaries["Dynamic"][job].pct_affinity
+            aware = comparison.summaries["Dyn-Aff"][job].pct_affinity
+            assert oblivious < 40
+            assert aware > 40
+            assert aware > oblivious + 25
+
+    def test_yield_delay_cuts_reallocations(self, comparison):
+        """Row 2: Dyn-Aff-Delay meets its goal of reducing #reallocations."""
+        for job in JOBS:
+            base = comparison.summaries["Dyn-Aff"][job].n_reallocations
+            delayed = comparison.summaries["Dyn-Aff-Delay"][job].n_reallocations
+            assert delayed < 0.8 * base
+
+    def test_reallocation_intervals_in_paper_band(self, comparison):
+        """Row 3: hundreds of milliseconds between reallocations — the
+        key quantity making cache penalties negligible."""
+        for policy in ("Dynamic", "Dyn-Aff"):
+            for job in JOBS:
+                interval_ms = (
+                    comparison.summaries[policy][job].reallocation_interval * 1000
+                )
+                assert 100 < interval_ms < 1000, (policy, job, interval_ms)
+
+    def test_response_times_unaffected_by_affinity(self, comparison):
+        """Row 4: response times essentially unchanged across variants."""
+        for job in JOBS:
+            base = comparison.summaries["Dynamic"][job].response_time.mean
+            for policy in ("Dyn-Aff", "Dyn-Aff-Delay"):
+                other = comparison.summaries[policy][job].response_time.mean
+                assert other == pytest.approx(base, rel=0.10)
+
+    def test_reallocation_counts_are_thousands(self, comparison):
+        """Order-of-magnitude agreement with the paper's counts."""
+        for job in JOBS:
+            count = comparison.summaries["Dynamic"][job].n_reallocations
+            assert 400 < count < 10000

@@ -1,0 +1,66 @@
+"""The numbers printed in the paper, for side-by-side comparison.
+
+Transcribed from Vaswani & Zahorjan (SOSP 1991).  Benchmarks print these
+next to our measured values; the assertions check *shape* (orderings,
+growth directions, crossover structure), never absolute equality — our
+substrate is a simulator, not the authors' Sequent Symmetry.
+"""
+
+#: Table 1 P^NA in microseconds: app -> {Q seconds: value}.
+TABLE1_PNA_US = {
+    "MATRIX": {0.025: 882, 0.100: 1076, 0.400: 1679},
+    "MVA": {0.025: 914, 0.100: 1267, 0.400: 2330},
+    "GRAVITY": {0.025: 364, 0.100: 1576, 0.400: 2349},
+}
+
+#: Table 1 P^A in microseconds: app -> {Q: {intervening app: value}}.
+TABLE1_PA_US = {
+    "MATRIX": {
+        0.025: {"MATRIX": 120, "MVA": 177, "GRAVITY": 165},
+        0.100: {"MATRIX": 171, "MVA": 419, "GRAVITY": 374},
+        0.400: {"MATRIX": 737, "MVA": 1166, "GRAVITY": 815},
+    },
+    "MVA": {
+        0.025: {"MATRIX": 107, "MVA": 166, "GRAVITY": 194},
+        0.100: {"MATRIX": 164, "MVA": 330, "GRAVITY": 221},
+        0.400: {"MATRIX": 627, "MVA": 1061, "GRAVITY": 1103},
+    },
+    "GRAVITY": {
+        0.025: {"MATRIX": 154, "MVA": 301, "GRAVITY": 210},
+        0.100: {"MATRIX": 415, "MVA": 740, "GRAVITY": 353},
+        0.400: {"MATRIX": 1793, "MVA": 2080, "GRAVITY": 1719},
+    },
+}
+
+#: Kernel reallocation path length the paper measured.
+CONTEXT_SWITCH_US = 750
+
+#: Table 3 (workload #5): metric -> policy -> job -> value.
+TABLE3 = {
+    "pct_affinity": {
+        "Dynamic": {"MATRIX": 21, "GRAVITY": 31},
+        "Dyn-Aff": {"MATRIX": 83, "GRAVITY": 54},
+        "Dyn-Aff-Delay": {"MATRIX": 86, "GRAVITY": 59},
+    },
+    "n_reallocations": {
+        "Dynamic": {"MATRIX": 2469, "GRAVITY": 1745},
+        "Dyn-Aff": {"MATRIX": 2409, "GRAVITY": 1780},
+        "Dyn-Aff-Delay": {"MATRIX": 1611, "GRAVITY": 1139},
+    },
+    "realloc_interval_ms": {
+        "Dynamic": {"MATRIX": 293, "GRAVITY": 222},
+        "Dyn-Aff": {"MATRIX": 300, "GRAVITY": 218},
+        "Dyn-Aff-Delay": {"MATRIX": 445, "GRAVITY": 340},
+    },
+    "response_time_s": {
+        "Dynamic": {"MATRIX": 87.5, "GRAVITY": 51.4},
+        "Dyn-Aff": {"MATRIX": 87.0, "GRAVITY": 51.5},
+        "Dyn-Aff-Delay": {"MATRIX": 86.3, "GRAVITY": 51.4},
+    },
+}
+
+#: Table 4: mean job response time, homogeneous workloads.
+TABLE4 = {
+    1: {"Dyn-Aff": 20.22, "Dyn-Aff-NoPri": 20.13},
+    4: {"Dyn-Aff": 50.07, "Dyn-Aff-NoPri": 53.07},
+}

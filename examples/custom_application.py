@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Define a new application and schedule it against the paper's apps.
+
+Shows the extension surface of the library: an ``AppSpec`` subclass needs
+only a thread dependence graph builder, a memory reference model, and a
+parallelism hint.  Here we build FFT-BUTTERFLY — log-depth stages of
+wide parallelism with barriers — and see how the policies treat it when
+it competes with MATRIX.
+
+Run:  python examples/custom_application.py
+"""
+
+import random
+
+from repro import DYN_AFF, EQUIPARTITION, MATRIX
+from repro.apps.base import AppSpec
+from repro.apps.reference import ReferenceSpec
+from repro.core.system import SchedulingSystem
+from repro.engine.rng import RngRegistry
+from repro.reporting.figures import parallelism_histogram
+from repro.threads.graph import ThreadGraph
+from repro.threads.sync import add_barrier
+
+
+class FftSpec(AppSpec):
+    """A butterfly computation: log2(n) stages of n/2 parallel threads."""
+
+    name = "FFT"
+    description = "butterfly stages with barriers; wide, bursty parallelism"
+
+    _REFERENCE = ReferenceSpec(
+        data_blocks=2048,
+        p_reuse=0.97,
+        refs_per_touch=16,
+        reuse_window=256,
+        cold_pattern="sequential",
+    )
+
+    def __init__(self, n_points: int = 64, stage_service_s: float = 0.05) -> None:
+        if n_points & (n_points - 1):
+            raise ValueError("n_points must be a power of two")
+        self.n_points = n_points
+        self.stage_service_s = stage_service_s
+
+    @property
+    def reference(self) -> ReferenceSpec:
+        return self._REFERENCE
+
+    def max_parallelism_hint(self) -> int:
+        return self.n_points // 2
+
+    def build_graph(self, rng: random.Random) -> ThreadGraph:
+        graph = ThreadGraph(self.name)
+        stages = self.n_points.bit_length() - 1
+        previous_barrier = None
+        for stage in range(stages):
+            tids = []
+            for _ in range(self.n_points // 2):
+                jitter = 1.0 + 0.2 * (2.0 * rng.random() - 1.0)
+                tid = graph.add_thread(self.stage_service_s * jitter, phase=f"stage{stage}")
+                if previous_barrier is not None:
+                    graph.add_dependency(previous_barrier, tid)
+                tids.append(tid)
+            previous_barrier = add_barrier(graph, tids, phase=f"barrier{stage}")
+        return graph
+
+
+def main() -> None:
+    rng = RngRegistry(0)
+    fft = FftSpec()
+
+    print("FFT in isolation:")
+    graph = fft.build_graph(rng.stream("profile"))
+    print(parallelism_histogram(graph.parallelism_profile(16), "FFT"))
+    print()
+
+    print("FFT competing with MATRIX on 16 processors:")
+    for policy in (EQUIPARTITION, DYN_AFF):
+        jobs = [
+            fft.make_job(rng.stream(f"fft/{policy.name}"), n_processors=16),
+            MATRIX.make_job(rng.stream(f"mat/{policy.name}"), n_processors=16),
+        ]
+        result = SchedulingSystem(jobs, policy, n_processors=16, seed=1).run()
+        print(f"  {policy.name}:")
+        for name, metrics in sorted(result.jobs.items()):
+            print(
+                f"    {name:8s} RT {metrics.response_time:6.1f} s  "
+                f"avg allocation {metrics.average_allocation:5.2f}  "
+                f"waste {metrics.waste:6.1f} cpu-s"
+            )
+    print()
+    print(
+        "Under Equipartition the FFT's barrier gaps strand its share of the\n"
+        "machine; Dyn-Aff hands those processors to MATRIX and returns them\n"
+        "(usually to the same caches) when the next stage opens."
+    )
+
+
+if __name__ == "__main__":
+    main()

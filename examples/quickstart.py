@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a cache penalty, then schedule a workload mix.
+
+This walks the paper's pipeline end to end in under a minute:
+
+1. measure ``P^A`` / ``P^NA`` for one application at one rescheduling
+   interval (the Section 4 experiment, Table 1);
+2. run workload mix #5 (1 MATRIX + 1 GRAVITY) under Equipartition and
+   Dyn-Aff on a simulated 16-processor Sequent Symmetry (Section 6);
+3. print per-job response times, reallocation counts and %affinity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DYN_AFF, EQUIPARTITION, MVA, MATRIX, PenaltyExperiment, run_mix
+
+
+def main() -> None:
+    # --- 1. cache penalties (Section 4) --------------------------------
+    print("Measuring cache penalties for MVA at Q = 100 ms ...")
+    experiment = PenaltyExperiment(scale=32)  # coarse scale: fast demo
+    result = experiment.measure(MVA, q_s=0.100, partners=(MATRIX,))
+    print(f"  P^NA (no affinity, cache flushed) : {result.p_na_us:7.0f} us/switch")
+    print(f"  P^A  (affinity, MATRIX intervened): {result.p_a_us('MATRIX'):7.0f} us/switch")
+    print(f"  kernel context switch path length :     750 us/switch")
+    print()
+
+    # --- 2. schedule a mix (Section 6) ---------------------------------
+    print("Scheduling workload #5 (1 MATRIX + 1 GRAVITY) on 16 processors ...")
+    for policy in (EQUIPARTITION, DYN_AFF):
+        outcome = run_mix(5, policy, seed=1)
+        print(f"  {policy.name}:")
+        for name, metrics in sorted(outcome.jobs.items()):
+            print(
+                f"    {name:8s} response time {metrics.response_time:6.1f} s, "
+                f"{metrics.n_reallocations:5d} reallocations, "
+                f"{metrics.pct_affinity:3.0f}% with affinity"
+            )
+
+    # --- 3. the paper's observation ------------------------------------
+    print()
+    print(
+        "Note how Dyn-Aff reallocates thousands of times yet beats the\n"
+        "static Equipartition: reallocation penalties are tiny next to the\n"
+        "utilization they buy — the paper's central result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Run the real computations behind the three applications.
+
+The scheduling experiments use workload models; this example runs the
+actual algorithms the models abstract:
+
+* exact Mean Value Analysis of a closed queueing network (MVA),
+* cache-blocked matrix multiplication (MATRIX),
+* a Barnes-Hut N-body simulation with its five-phase step (GRAVITY),
+
+and shows the structural facts the models encode — the MVA wavefront,
+the cache-sized matrix blocks, and GRAVITY's sequential tree build.
+
+Run:  python examples/real_kernels.py
+"""
+
+import random
+import time
+
+from repro.kernels.barnes_hut import BarnesHutSimulation, Body
+from repro.kernels.matmul import blocked_matmul, choose_block_size, naive_matmul
+from repro.kernels.mva_solver import QueueingNetwork, solve_mva, wavefront_order
+from repro.machine.params import SEQUENT_SYMMETRY
+
+
+def demo_mva() -> None:
+    print("=== MVA: exact Mean Value Analysis ===")
+    network = QueueingNetwork(
+        demands=(0.005, 0.020, 0.012, 1.0),  # cpu, 2 disks, think time
+        delay_stations=frozenset({3}),
+    )
+    results = solve_mva(network, population=24)
+    final = results[-1]
+    print(f"  24 customers: throughput {final.throughput:.2f}/s, "
+          f"response time {final.response_time * 1000:.1f} ms, "
+          f"bottleneck station #{final.bottleneck()}")
+    waves = wavefront_order(population=24, n_stations=4)
+    widths = [len(w) for w in waves]
+    print(f"  dynamic-programming wavefront: {len(waves)} waves, "
+          f"widths ramp {widths[:5]}...{widths[-3:]} (Figure 2's shape)")
+    print()
+
+
+def demo_matrix() -> None:
+    print("=== MATRIX: cache-blocked multiply ===")
+    block = choose_block_size(SEQUENT_SYMMETRY.cache_size_bytes)
+    print(f"  Symmetry's 64 KB cache -> {block}x{block} element blocks")
+    n = 96
+    rng = random.Random(0)
+    a = [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)]
+    b = [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)]
+    t0 = time.perf_counter()
+    blocked = blocked_matmul(a, b, block=block)
+    t_blocked = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reference = naive_matmul(a, b)
+    t_naive = time.perf_counter() - t0
+    error = max(
+        abs(x - y) for rb, rn in zip(blocked, reference) for x, y in zip(rb, rn)
+    )
+    print(f"  {n}x{n} multiply: blocked {t_blocked * 1000:.0f} ms, "
+          f"naive {t_naive * 1000:.0f} ms, max |diff| {error:.2e}")
+    print()
+
+
+def demo_gravity() -> None:
+    print("=== GRAVITY: Barnes-Hut N-body ===")
+    rng = random.Random(1)
+    bodies = [
+        Body(rng.gauss(0, 5), rng.gauss(0, 5), rng.gauss(0, 0.2), rng.gauss(0, 0.2))
+        for _ in range(300)
+    ]
+    sim = BarnesHutSimulation(bodies, dt=0.01, theta=0.6)
+    px0, py0 = sim.total_momentum()
+    t0 = time.perf_counter()
+    for _ in range(5):
+        # The five-phase step structure of Figure 4:
+        sim.phase_build_tree()        # phase 1: sequential
+        forces = sim.phase_forces()   # phase 2-3: parallel tree walks
+        sim.phase_update(forces)      # phase 4: parallel integration
+        sim.phase_collect()           # phase 5: parallel reduction
+        sim.steps_run += 1
+    elapsed = time.perf_counter() - t0
+    px1, py1 = sim.total_momentum()
+    print(f"  300 bodies x 5 steps in {elapsed * 1000:.0f} ms")
+    print(f"  momentum drift: ({px1 - px0:+.2e}, {py1 - py0:+.2e})  (symmetric forces)")
+    print(f"  step structure: 1 sequential tree build + 4 parallel phases,")
+    print(f"  which is exactly the dependence shape the GRAVITY model schedules")
+    print()
+
+
+if __name__ == "__main__":
+    demo_mva()
+    demo_matrix()
+    demo_gravity()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Reconcile the paper with the prior affinity-scheduling literature.
+
+Section 8 of the paper explains why its "affinity barely matters"
+conclusion does not contradict earlier work that found large affinity
+effects: the earlier work modelled *time sharing*.  This example shows
+both sides computationally:
+
+1. the Squillante & Lazowska queueing model — affinity disciplines vs
+   FCFS across run-interval scales;
+2. a head-to-head of the DYNIX-style time-sharing scheduler against the
+   paper's space-sharing policies on workload #5.
+
+Run:  python examples/related_work.py
+"""
+
+import dataclasses
+
+from repro import DYN_AFF, DYNAMIC
+from repro.core.timesharing import (
+    TIME_SHARING,
+    TIME_SHARING_AFFINITY,
+    TimeSharingSystem,
+)
+from repro.engine.rng import RngRegistry
+from repro.measure.runner import run_mix
+from repro.measure.workloads import make_jobs
+from repro.model.affinity_queueing import QueueingConfig, compare_disciplines
+
+
+def squillante_lazowska() -> None:
+    print("=== The S&L queueing model: affinity benefit vs run interval ===")
+    base = QueueingConfig(
+        n_processors=4, n_tasks=5, footprint_lines=3000, survival=0.7
+    )
+    print("  interval   FCFS     FP     LP     MI     (cycle time relative to FCFS)")
+    for service in (0.002, 0.010, 0.050, 0.400):
+        config = dataclasses.replace(
+            base, mean_service_s=service, mean_think_s=2 * service
+        )
+        results = compare_disciplines(config, n_completions=8000, seed=1)
+        fcfs = results["FCFS"].mean_cycle_s
+        cells = "  ".join(
+            f"{results[p].mean_cycle_s / fcfs:5.3f}" for p in ("FCFS", "FP", "LP", "MI")
+        )
+        print(f"  {service * 1000:6.1f} ms  {cells}")
+    print(
+        "  -> ~20% benefit at 2 ms (S&L's time-sharing domain), under 1% at\n"
+        "     400 ms (this paper's space-sharing reallocation intervals).\n"
+    )
+
+
+def head_to_head() -> None:
+    print("=== Workload #5: time sharing vs space sharing head-to-head ===")
+    rows = []
+    for ts_policy in (TIME_SHARING, TIME_SHARING_AFFINITY):
+        rng = RngRegistry(1)
+        jobs = make_jobs(5, rng.spawn("workload"))
+        result = TimeSharingSystem(
+            jobs, ts_policy, n_processors=16, seed=1, rng=rng.spawn(ts_policy.name)
+        ).run()
+        rows.append((ts_policy.name, result))
+    for policy in (DYNAMIC, DYN_AFF):
+        rows.append((policy.name, run_mix(5, policy, seed=1)))
+    for name, result in rows:
+        penalty = sum(m.cache_penalty_total for m in result.jobs.values())
+        print(
+            f"  {name:16s} mean RT {result.mean_response_time():6.1f} s, "
+            f"total cache penalty {penalty:5.1f} s"
+        )
+    print(
+        "  -> space sharing wins outright, and most of the cache penalty\n"
+        "     affinity could ever fix exists only under time sharing."
+    )
+
+
+if __name__ == "__main__":
+    squillante_lazowska()
+    head_to_head()

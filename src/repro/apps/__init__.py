@@ -1,0 +1,29 @@
+"""The paper's three applications: MVA, MATRIX, and GRAVITY.
+
+Each application is described by an :class:`~repro.apps.base.AppSpec`
+providing (a) a builder for its thread dependence graph (the structures
+pictured in Figures 2-4), (b) a memory reference model driving the
+stateful cache simulator in the Section 4 penalty experiments, and (c) the
+derived footprint curve used by the scheduling simulations.
+"""
+
+from repro.apps.base import AppSpec
+from repro.apps.gravity import GRAVITY, GravitySpec
+from repro.apps.matrix import MATRIX, MatrixSpec
+from repro.apps.mva import MVA, MvaSpec
+from repro.apps.reference import ReferenceGenerator, ReferenceSpec
+
+APPLICATIONS = {spec.name: spec for spec in (MVA, MATRIX, GRAVITY)}
+
+__all__ = [
+    "APPLICATIONS",
+    "AppSpec",
+    "GRAVITY",
+    "GravitySpec",
+    "MATRIX",
+    "MatrixSpec",
+    "MVA",
+    "MvaSpec",
+    "ReferenceGenerator",
+    "ReferenceSpec",
+]

@@ -1,0 +1,194 @@
+"""Memory reference models for the applications.
+
+The Section 4 penalty experiments drive the stateful cache simulator with
+per-application reference streams.  Simulating every reference is
+intractable in Python, so the generator works at *touch* granularity: one
+touch is ``refs_per_touch`` consecutive references to a single block (the
+temporal-locality runs real programs exhibit).  Only the first reference of
+a run can miss, so touch granularity preserves miss behaviour exactly for
+run-structured traces.
+
+The stream itself is a two-level locality model:
+
+* with probability ``p_reuse`` the next touch revisits a block drawn
+  uniformly from the last ``reuse_window`` distinct blocks (the hot set);
+* otherwise it picks a block uniformly from the application's
+  ``data_blocks``-block address space.
+
+Uniform cold picks give the classic coupon-collector working-set growth
+``distinct(t) = D * (1 - exp(-r t / D))`` — the saturating curve behind the
+paper's observation that penalties grow with the rescheduling interval Q.
+The derived :class:`~repro.machine.footprint.FootprintCurve` (``w_max = D``,
+``tau = D / r``) is therefore the *same model*, which is what lets the
+scheduling simulations use the analytic form the penalty experiment
+validates.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import random
+import typing
+
+from repro.machine.footprint import FootprintCurve, LinearFootprintCurve
+from repro.machine.params import MachineSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceSpec:
+    """Parameters of one application's reference stream."""
+
+    #: size of the touched address space, in cache-line-sized blocks
+    data_blocks: int
+    #: probability a touch revisits the hot set instead of a cold block
+    p_reuse: float
+    #: consecutive references represented by one touch
+    refs_per_touch: int
+    #: number of recent distinct blocks forming the hot set
+    reuse_window: int
+    #: execution phases: cold picks stay within the current 1/n_phases
+    #: region of the address space (1 = uniform over everything)
+    n_phases: int = 1
+    #: touches per phase before moving to the next region (0 = no rotation)
+    phase_touches: int = 0
+    #: how cold picks walk the address space: "uniform" random (coupon
+    #: collector working-set growth) or "sequential" scan (sharp-knee
+    #: linear growth — streaming through input data, tree walks)
+    cold_pattern: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.data_blocks <= 0:
+            raise ValueError("data_blocks must be positive")
+        if not 0.0 <= self.p_reuse < 1.0:
+            raise ValueError("p_reuse must be in [0, 1)")
+        if self.refs_per_touch < 1:
+            raise ValueError("refs_per_touch must be at least 1")
+        if self.reuse_window < 1:
+            raise ValueError("reuse_window must be at least 1")
+        if self.n_phases < 1:
+            raise ValueError("n_phases must be at least 1")
+        if self.n_phases > 1 and self.phase_touches < 1:
+            raise ValueError("phased streams need phase_touches >= 1")
+        if self.cold_pattern not in ("uniform", "sequential"):
+            raise ValueError(f"unknown cold_pattern {self.cold_pattern!r}")
+
+    def touch_rate(self, spec: MachineSpec) -> float:
+        """Touches per second when every touch hits."""
+        return 1.0 / (self.refs_per_touch * spec.hit_time_s)
+
+    def cold_pick_rate(self, spec: MachineSpec) -> float:
+        """Uniform cold picks per second (the working-set growth rate)."""
+        return self.touch_rate(spec) * (1.0 - self.p_reuse)
+
+    def footprint_curve(self, spec: MachineSpec) -> typing.Union[FootprintCurve, LinearFootprintCurve]:
+        """The analytic working-set growth law this stream follows.
+
+        Uniform cold picks give the coupon-collector exponential; a
+        sequential scan gives the sharp-knee linear form (hot set loads
+        almost immediately, then the scan adds ``rate`` lines/second).
+        """
+        rate = self.cold_pick_rate(spec)
+        if self.cold_pattern == "sequential":
+            return LinearFootprintCurve(
+                hot=float(self.reuse_window),
+                rate=rate,
+                cap=float(self.data_blocks),
+            )
+        return FootprintCurve(w_max=float(self.data_blocks), tau=self.data_blocks / rate)
+
+    def reduced(self, scale: int) -> "ReferenceSpec":
+        """A fidelity-reduced stream for a ``reduced``-scale machine.
+
+        Dividing the address space by ``scale`` while multiplying
+        ``refs_per_touch`` by it keeps every *time* quantity (working-set
+        build time, reload penalties in seconds) unchanged while cutting
+        the number of simulated touches by ``scale``.  Used together with
+        :func:`reduced_machine`.
+        """
+        if scale < 1:
+            raise ValueError("scale must be at least 1")
+        return ReferenceSpec(
+            data_blocks=max(1, self.data_blocks // scale),
+            p_reuse=self.p_reuse,
+            refs_per_touch=self.refs_per_touch * scale,
+            reuse_window=max(1, self.reuse_window // scale),
+            n_phases=self.n_phases,
+            phase_touches=max(1, self.phase_touches // scale) if self.phase_touches else 0,
+            cold_pattern=self.cold_pattern,
+        )
+
+
+def reduced_machine(spec: MachineSpec, scale: int) -> MachineSpec:
+    """A fidelity-reduced machine matching :meth:`ReferenceSpec.reduced`.
+
+    The cache shrinks by ``scale`` and the miss time grows by ``scale``, so
+    the full-cache fill time — and hence every penalty measured in seconds —
+    is preserved while the simulator does ``scale`` times less work.
+    """
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    if scale == 1:
+        return spec
+    return dataclasses.replace(
+        spec,
+        name=f"{spec.name} (1/{scale} fidelity)",
+        cache_size_bytes=spec.cache_size_bytes // scale,
+        miss_time_s=spec.miss_time_s * scale,
+    )
+
+
+class ReferenceGenerator:
+    """Stateful generator of block touches for one task."""
+
+    def __init__(self, spec: ReferenceSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._recent: typing.Deque[int] = collections.deque(maxlen=spec.reuse_window)
+        self._phase = 0
+        self._touches_in_phase = 0
+        self._region_size = spec.data_blocks // spec.n_phases
+        self._scan = 0
+
+    @property
+    def current_phase(self) -> int:
+        """Index of the current execution phase (region of the data)."""
+        return self._phase
+
+    def next_block(self) -> int:
+        """The block index of the next touch."""
+        spec = self.spec
+        if spec.n_phases > 1:
+            self._touches_in_phase += 1
+            if self._touches_in_phase > spec.phase_touches:
+                self._advance_phase()
+        if self._recent and self._rng.random() < spec.p_reuse:
+            return self._rng.choice(self._recent)
+        if spec.cold_pattern == "sequential":
+            block = self._scan
+            self._scan += 1
+            if spec.n_phases > 1:
+                base = self._phase * self._region_size
+                if self._scan >= base + self._region_size:
+                    self._scan = base
+            elif self._scan >= spec.data_blocks:
+                self._scan = 0
+        elif spec.n_phases > 1:
+            base = self._phase * self._region_size
+            block = base + self._rng.randrange(max(1, self._region_size))
+        else:
+            block = self._rng.randrange(spec.data_blocks)
+        if not self._recent or block != self._recent[-1]:
+            self._recent.append(block)
+        return block
+
+    def _advance_phase(self) -> None:
+        """Move to the next region and drop the hot set (new computation)."""
+        self._phase = (self._phase + 1) % self.spec.n_phases
+        self._touches_in_phase = 0
+        self._recent.clear()
+        self._scan = self._phase * self._region_size
+
+    def reset(self) -> None:
+        """Forget the hot set (e.g. at an application phase change)."""
+        self._recent.clear()

@@ -1,0 +1,317 @@
+"""Command line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro apps                    # Figures 2-4
+    python -m repro table1 [--scale N]      # Table 1
+    python -m repro fig5 [--mix K] [-r N]   # Figure 5 (+ Table 3 metrics)
+    python -m repro fig6 [--mix K] [-r N]   # Figure 6 (Dyn-Aff-NoPri)
+    python -m repro table4 [-r N]           # Table 4
+    python -m repro future [--mix K] [-r N] # Figures 8-13
+    python -m repro gantt [--mix K]         # allocation timelines
+    python -m repro section8                # time-sharing contrast
+    python -m repro hierarchy               # Section 7.2 sqrt-memory law
+    python -m repro all                     # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.apps import APPLICATIONS
+from repro.core.policies import (
+    DYN_AFF,
+    DYN_AFF_DELAY,
+    DYN_AFF_NOPRI,
+    DYNAMIC,
+    EQUIPARTITION,
+)
+from repro.engine.rng import RngRegistry
+from repro.measure.penalty import PenaltyExperiment
+from repro.measure.runner import compare_policies, run_mix
+from repro.measure.workloads import MIXES
+from repro.model import (
+    DEFAULT_PENALTIES,
+    FutureMachineModel,
+    observations_from_comparison,
+    sweep_relative,
+)
+from repro.reporting.figures import ascii_chart, parallelism_histogram
+from repro.reporting.tables import (
+    render_relative_rt_table,
+    render_table1,
+    render_table3,
+    render_table4,
+)
+
+_DYNAMIC_POLICIES = (DYNAMIC, DYN_AFF, DYN_AFF_DELAY)
+
+
+def cmd_apps(args: argparse.Namespace) -> None:
+    """Figures 2-4: per-application parallelism profiles."""
+    rng = RngRegistry(args.seed)
+    for name, spec in APPLICATIONS.items():
+        graph = spec.build_graph(rng.stream(f"profile/{name}"))
+        profile = graph.parallelism_profile(args.processors)
+        print(parallelism_histogram(profile, name))
+        print()
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    """Table 1: cache penalties per application per Q."""
+    experiment = PenaltyExperiment(scale=args.scale, seed=args.seed)
+    apps = [APPLICATIONS[n] for n in ("MATRIX", "MVA", "GRAVITY")]
+    table = experiment.table1(apps)
+    print(render_table1(table))
+
+
+def _mix_ids(args: argparse.Namespace) -> typing.List[int]:
+    return [args.mix] if args.mix else sorted(MIXES)
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    """Figure 5 + Table 3: dynamic policies relative to Equipartition."""
+    csv_rows: typing.List[typing.Sequence[object]] = []
+    for mix_id in _mix_ids(args):
+        comparison = compare_policies(
+            mix_id,
+            (EQUIPARTITION,) + _DYNAMIC_POLICIES,
+            replications=args.replications,
+            base_seed=args.seed,
+        )
+        print(render_relative_rt_table(comparison))
+        print()
+        print(render_table3(comparison))
+        print()
+        if args.csv:
+            for policy in comparison.policies():
+                for job, summary in comparison.summaries[policy].items():
+                    csv_rows.append(
+                        [
+                            mix_id,
+                            policy,
+                            job,
+                            summary.response_time.mean,
+                            summary.n_reallocations,
+                            summary.pct_affinity,
+                            summary.average_allocation,
+                        ]
+                    )
+    if args.csv:
+        from repro.reporting.export import rows_to_csv
+
+        headers = [
+            "mix", "policy", "job", "response_time_s",
+            "n_reallocations", "pct_affinity", "average_allocation",
+        ]
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_csv(headers, csv_rows))
+        print(f"wrote {len(csv_rows)} rows to {args.csv}")
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    """Figure 6: Dyn-Aff-NoPri relative to Equipartition."""
+    for mix_id in _mix_ids(args):
+        comparison = compare_policies(
+            mix_id,
+            (EQUIPARTITION, DYN_AFF_NOPRI),
+            replications=args.replications,
+            base_seed=args.seed,
+        )
+        print(render_relative_rt_table(comparison))
+        print()
+
+
+def cmd_table4(args: argparse.Namespace) -> None:
+    """Table 4: homogeneous workloads, Dyn-Aff vs Dyn-Aff-NoPri."""
+    results: typing.Dict[int, typing.Dict[str, float]] = {}
+    for mix_id in (1, 4):
+        results[mix_id] = {}
+        for policy in (DYN_AFF, DYN_AFF_NOPRI):
+            total = 0.0
+            for r in range(args.replications):
+                total += run_mix(mix_id, policy, seed=args.seed + r).mean_response_time()
+            results[mix_id][policy.name] = total / args.replications
+    print(render_table4(results))
+
+
+def cmd_future(args: argparse.Namespace) -> None:
+    """Figures 8-13: the extended model on future machines."""
+    model = FutureMachineModel(DEFAULT_PENALTIES)
+    for mix_id in _mix_ids(args):
+        comparison = compare_policies(
+            mix_id,
+            (EQUIPARTITION,) + _DYNAMIC_POLICIES,
+            replications=args.replications,
+            base_seed=args.seed,
+        )
+        observations = observations_from_comparison(comparison)
+        for job in comparison.job_names():
+            series = {}
+            for policy in ("Dynamic", "Dyn-Aff", "Dyn-Aff-Delay"):
+                sweep = sweep_relative(
+                    model, observations[policy][job], observations["Equipartition"][job]
+                )
+                series[policy] = list(zip(sweep.products, sweep.ratios))
+            print(
+                ascii_chart(
+                    series,
+                    title=(
+                        f"Workload #{mix_id}, job {job}: RT relative to "
+                        "Equipartition vs processor-speed x cache-size"
+                    ),
+                    log_x=True,
+                    y_label="rel RT",
+                )
+            )
+            print()
+
+
+def cmd_gantt(args: argparse.Namespace) -> None:
+    """ASCII allocation timelines for a mix under several policies."""
+    from repro.core.system import SchedulingSystem
+    from repro.core.trace import AllocationTrace
+    from repro.measure.workloads import make_jobs
+
+    mix_id = args.mix if args.mix else 5
+    for policy in (EQUIPARTITION, DYN_AFF, DYN_AFF_NOPRI):
+        rng = RngRegistry(args.seed)
+        jobs = make_jobs(mix_id, rng.spawn("workload"))
+        trace = AllocationTrace()
+        SchedulingSystem(
+            jobs, policy, n_processors=16, seed=args.seed,
+            rng=rng.spawn(f"system/{policy.name}"), trace=trace,
+        ).run()
+        print(f"=== workload #{mix_id} under {policy.name} ===")
+        print(trace.render_gantt(width=72))
+        print()
+
+
+def cmd_section8(args: argparse.Namespace) -> None:
+    """The time-sharing contrast of Section 8."""
+    from repro.core.timesharing import (
+        TIME_SHARING,
+        TIME_SHARING_AFFINITY,
+        TimeSharingSystem,
+    )
+    from repro.measure.runner import run_mix as _run_mix
+    from repro.measure.workloads import make_jobs
+
+    mix_id = args.mix if args.mix else 5
+    rows = []
+    for ts_policy in (TIME_SHARING, TIME_SHARING_AFFINITY):
+        rng = RngRegistry(args.seed)
+        jobs = make_jobs(mix_id, rng.spawn("workload"))
+        result = TimeSharingSystem(
+            jobs, ts_policy, n_processors=16, seed=args.seed,
+            rng=rng.spawn(ts_policy.name),
+        ).run()
+        rows.append((ts_policy.name, result))
+    for policy in (DYNAMIC, DYN_AFF):
+        rows.append((policy.name, _run_mix(mix_id, policy, seed=args.seed)))
+    print(f"workload #{mix_id}: time sharing vs space sharing")
+    for name, result in rows:
+        for job, m in sorted(result.jobs.items()):
+            print(
+                f"  {name:16s} {job:9s} RT {m.response_time:7.1f} s  "
+                f"{m.n_reallocations:6d} reallocs  "
+                f"{m.pct_affinity:3.0f}% affinity  "
+                f"{m.cache_penalty_total:6.2f} s cache penalty"
+            )
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> None:
+    """Section 7.2's two-level-cache / sqrt-memory-law analysis."""
+    from repro.machine.hierarchy import sqrt_memory_law_table
+
+    print("required L2 hit rate for full processor speedup")
+    print("  speed | constant memory | memory ~ sqrt(speed) | feasible")
+    for speed, constant, sqrt_rate, feasible in sqrt_memory_law_table():
+        print(f"  {speed:5.0f} | {constant:15.4f} | {sqrt_rate:20.4f} | {feasible}")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    """Every experiment in paper order."""
+    cmd_apps(args)
+    cmd_table1(args)
+    cmd_fig5(args)
+    cmd_fig6(args)
+    cmd_table4(args)
+    cmd_future(args)
+    cmd_section8(args)
+    cmd_hierarchy(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce Vaswani & Zahorjan (SOSP 1991): cache affinity and "
+            "processor scheduling"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_apps = sub.add_parser("apps", help="Figures 2-4: application profiles")
+    p_apps.add_argument("--processors", type=int, default=16)
+    p_apps.set_defaults(func=cmd_apps)
+
+    p_t1 = sub.add_parser("table1", help="Table 1: cache penalties")
+    p_t1.add_argument(
+        "--scale", type=int, default=16,
+        help="fidelity reduction factor (1 = full cache, slow)",
+    )
+    p_t1.set_defaults(func=cmd_table1)
+
+    for name, func, help_text in (
+        ("fig5", cmd_fig5, "Figure 5 + Table 3: policy comparison"),
+        ("fig6", cmd_fig6, "Figure 6: Dyn-Aff-NoPri"),
+        ("future", cmd_future, "Figures 8-13: future machines"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
+        p.add_argument("-r", "--replications", type=int, default=3)
+        if name == "fig5":
+            p.add_argument("--csv", type=str, default=None,
+                           help="also write per-job metrics to this CSV file")
+        p.set_defaults(func=func)
+
+    p_t4 = sub.add_parser("table4", help="Table 4: homogeneous workloads")
+    p_t4.add_argument("-r", "--replications", type=int, default=3)
+    p_t4.set_defaults(func=cmd_table4)
+
+    p_gantt = sub.add_parser("gantt", help="ASCII allocation timelines")
+    p_gantt.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
+    p_gantt.set_defaults(func=cmd_gantt)
+
+    p_s8 = sub.add_parser("section8", help="time-sharing vs space-sharing contrast")
+    p_s8.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
+    p_s8.set_defaults(func=cmd_section8)
+
+    p_hier = sub.add_parser("hierarchy", help="Section 7.2 sqrt-memory-law table")
+    p_hier.set_defaults(func=cmd_hierarchy)
+
+    p_all = sub.add_parser("all", help="run every experiment (slow)")
+    p_all.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
+    p_all.add_argument("-r", "--replications", type=int, default=3)
+    p_all.add_argument("--processors", type=int, default=16)
+    p_all.add_argument("--scale", type=int, default=16)
+    p_all.add_argument("--csv", type=str, default=None)
+    p_all.set_defaults(func=cmd_all)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,316 @@
+"""The processor allocator (the paper's Minos analogue).
+
+The allocator owns the processor table and makes every *who gets which
+processor* decision; the scheduling system (:mod:`repro.core.system`)
+executes the mechanics (dispatch overheads, events, cache accounting).
+
+Decision rules implemented here, exactly as Section 5 presents them:
+
+* **D.1** requests are satisfied first from unallocated processors;
+* **D.2** then from "willing to yield" processors (idle processors inside
+  a yield-delay window still belong to their job but may be claimed);
+* **D.3** finally, equity is enforced by preempting from the job(s) with
+  the largest current allocation (subject to the credit scheme);
+* **A.1** an available processor is offered first to the last task that
+  ran on it, if that task is runnable with useful work and its job's
+  priority is as high as any requester's (Dyn-Aff-NoPri drops the
+  priority clause);
+* **A.2** a requesting job names a desired processor — where its most
+  progress-critical task last ran — which is granted if available.
+
+Equipartition bypasses all of the above: it computes allocation numbers on
+job arrival/completion only (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.history import ProcessorHistory
+from repro.core.policies.base import Policy, equipartition_allocation
+from repro.core.priority import CreditScheduler
+from repro.threads.job import Job
+from repro.threads.workers import WorkerTask
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import SchedulingSystem
+
+
+class ProcessorRecord:
+    """Allocator-side state of one processor."""
+
+    def __init__(self, cpu_id: int, history_depth: int = 1) -> None:
+        self.cpu_id = cpu_id
+        self.job: typing.Optional[Job] = None
+        self.worker: typing.Optional[WorkerTask] = None
+        #: set while the owning job holds the processor idle
+        self.idle_since: typing.Optional[float] = None
+        #: pending yield-delay event handle (dynamic policies only)
+        self.yield_handle: typing.Optional[object] = None
+        self.history = ProcessorHistory(depth=history_depth)
+
+    @property
+    def is_free(self) -> bool:
+        """Unallocated."""
+        return self.job is None
+
+    @property
+    def is_busy(self) -> bool:
+        """Running a worker."""
+        return self.worker is not None
+
+    @property
+    def is_held_idle(self) -> bool:
+        """Owned by a job but running nothing."""
+        return self.job is not None and self.worker is None
+
+    @property
+    def is_willing_to_yield(self) -> bool:
+        """Held idle inside a yield-delay window (claimable via D.2)."""
+        return self.is_held_idle and self.yield_handle is not None
+
+    def __repr__(self) -> str:
+        owner = self.job.name if self.job else None
+        return f"ProcessorRecord(cpu={self.cpu_id}, job={owner!r}, busy={self.is_busy})"
+
+
+class Allocator:
+    """Implements the Section 5 allocation rules over a processor table."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        n_processors: int,
+        system: "SchedulingSystem",
+    ) -> None:
+        if n_processors <= 0:
+            raise ValueError("need at least one processor")
+        self.policy = policy
+        self.system = system
+        self.procs = [
+            ProcessorRecord(i, history_depth=policy.history_depth)
+            for i in range(n_processors)
+        ]
+        self.credit = CreditScheduler(n_processors)
+        self.jobs: typing.List[Job] = []
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def allocation(self, job: Job) -> int:
+        """Processors currently owned by ``job`` (busy or held idle)."""
+        return sum(1 for p in self.procs if p.job is job)
+
+    def free_processors(self) -> typing.List[ProcessorRecord]:
+        """Unallocated processors, in id order."""
+        return [p for p in self.procs if p.is_free]
+
+    def willing_processors(self, exclude: Job) -> typing.List[ProcessorRecord]:
+        """Yield-delay-window processors claimable by other jobs (D.2)."""
+        return [p for p in self.procs if p.is_willing_to_yield and p.job is not exclude]
+
+    def requesters(self, exclude: typing.Optional[Job] = None) -> typing.List[Job]:
+        """Live jobs that could use additional processors right now."""
+        result = []
+        for job in self.jobs:
+            if job is exclude or job.finished:
+                continue
+            if job.additional_request(self.allocation(job)) > 0:
+                result.append(job)
+        return result
+
+    def _worker_of(self, key: typing.Tuple[str, int]) -> typing.Optional[WorkerTask]:
+        for job in self.jobs:
+            worker = job.worker_by_key(key)
+            if worker is not None:
+                return worker
+        return None
+
+    # ------------------------------------------------------------------ #
+    # job lifecycle
+
+    def job_arrived(self, job: Job) -> None:
+        """Admit ``job``; equipartition rebalances, dynamic lets it request."""
+        now = self.system.now
+        self.jobs.append(job)
+        self.credit.job_arrived(job, now)
+        if self.policy.is_equipartition:
+            self.rebalance_equipartition()
+        else:
+            self.new_work(job)
+
+    def job_departed(self, job: Job) -> None:
+        """Remove a finished job and redistribute its processors."""
+        self.credit.job_departed(job, self.system.now)
+        self.jobs.remove(job)
+        freed = [p for p in self.procs if p.job is job]
+        for proc in freed:
+            self.system.release_processor(proc)
+        if self.policy.is_equipartition:
+            self.rebalance_equipartition()
+        else:
+            for proc in freed:
+                if proc.is_free:
+                    self.processor_available(proc)
+
+    # ------------------------------------------------------------------ #
+    # equipartition (Section 5.1)
+
+    def equipartition_targets(self) -> typing.Dict[str, int]:
+        """Allocation numbers for the current job set.
+
+        The paper leaves the round-robin increment order unspecified; we
+        order by descending maximum parallelism (then name), so remainder
+        processors go to the jobs best able to use them.
+        """
+        ordered = sorted(self.jobs, key=lambda j: (-len(j.workers), j.name))
+        caps = {job.name: len(job.workers) for job in ordered}
+        return equipartition_allocation(caps, len(self.procs))
+
+    def rebalance_equipartition(self) -> None:
+        """Move processors so every job holds its allocation number.
+
+        Processors are taken from over-allocated jobs (idle ones first)
+        and granted to under-allocated jobs.  This happens only on job
+        arrival and completion, so in the workload mixes (simultaneous
+        arrival at t = 0) it runs a handful of times per experiment.
+        """
+        targets = self.equipartition_targets()
+        surplus: typing.List[ProcessorRecord] = [p for p in self.procs if p.is_free]
+        for job in self.jobs:
+            excess = self.allocation(job) - targets[job.name]
+            if excess <= 0:
+                continue
+            owned = [p for p in self.procs if p.job is job]
+            owned.sort(key=lambda p: (p.is_busy, p.cpu_id))  # idle first
+            for proc in owned[:excess]:
+                if proc.is_busy:
+                    self.system.preempt_processor(proc)
+                self.system.release_processor(proc)
+                surplus.append(proc)
+        for job in self.jobs:
+            deficit = targets[job.name] - self.allocation(job)
+            for _ in range(deficit):
+                if not surplus:
+                    return
+                proc = surplus.pop(0)
+                self.system.grant_processor(proc, job)
+
+    # ------------------------------------------------------------------ #
+    # dynamic policies (Sections 5.2-5.4)
+
+    def processor_available(self, proc: ProcessorRecord) -> None:
+        """A processor became free: apply rule A.1, then priority dispatch."""
+        if self.policy.is_equipartition:
+            return  # equipartition never reacts to availability mid-run
+        if not proc.is_free:
+            raise RuntimeError(f"processor {proc.cpu_id} is not free")
+        requesting = self.requesters()
+        if self.policy.use_affinity:
+            # Rule A.1, walking the processor history most-recent first
+            # (depth 1 in the paper; deeper for the history ablation).
+            for task_key in proc.history:
+                worker = self._worker_of(task_key)
+                if worker is None or worker not in worker.job.dispatchable_workers():
+                    continue
+                priority_ok = (
+                    not self.policy.respect_priority
+                    or self.credit.at_least_as_deserving(worker.job, requesting)
+                )
+                if priority_ok:
+                    self.system.grant_processor(proc, worker.job, worker=worker)
+                    return
+                break  # the most deserving history entry lost on priority
+        if not requesting:
+            return
+        if self.policy.respect_priority:
+            job = self.credit.priority_order(requesting, self.system.now)[0]
+        else:
+            job = self.system.rng.choice(requesting)
+        worker = job.select_worker(
+            proc.cpu_id, self.policy.use_affinity, self.policy.history_depth
+        )
+        if worker is None:
+            return
+        self.system.grant_processor(proc, job, worker=worker)
+
+    def new_work(self, job: Job) -> None:
+        """``job`` has new runnable work: apply rules D.1, D.2, D.3 / A.2."""
+        if self.policy.is_equipartition:
+            return  # its processors were already used by the system
+        while True:
+            want = job.additional_request(self.allocation(job))
+            if want <= 0:
+                return
+            proc = self._take_free(job) or self._take_willing(job) or self._take_preempt(job)
+            if proc is None:
+                return
+            worker = job.select_worker(
+                proc.cpu_id, self.policy.use_affinity, self.policy.history_depth
+            )
+            if worker is None:
+                return
+            self.system.grant_processor(proc, job, worker=worker)
+
+    def _pick_with_affinity(
+        self, job: Job, candidates: typing.List[ProcessorRecord]
+    ) -> typing.Optional[ProcessorRecord]:
+        """A.2: desired processor first, then any affine one, then arbitrary."""
+        if not candidates:
+            return None
+        if self.policy.use_affinity:
+            desired = job.desired_processor()
+            for proc in candidates:
+                if proc.cpu_id == desired:
+                    return proc
+            affine_cpus = {
+                w.last_processor
+                for w in job.dispatchable_workers()
+                if w.last_processor is not None
+            }
+            for proc in candidates:
+                if proc.cpu_id in affine_cpus:
+                    return proc
+        # Affinity-oblivious fall-through: lowest-numbered candidate, the
+        # natural free-list order a real allocator hands out.  (This is
+        # what gives plain Dynamic its *incidental* ~20-30% affinity in
+        # Table 3: tasks tend to bounce within a stable set of processors.)
+        return candidates[0]
+
+    def _take_free(self, job: Job) -> typing.Optional[ProcessorRecord]:
+        """Rule D.1."""
+        return self._pick_with_affinity(job, self.free_processors())
+
+    def _take_willing(self, job: Job) -> typing.Optional[ProcessorRecord]:
+        """Rule D.2: claim a processor out of another job's yield window."""
+        proc = self._pick_with_affinity(job, self.willing_processors(exclude=job))
+        if proc is None:
+            return None
+        self.system.release_processor(proc)
+        return proc
+
+    def _take_preempt(self, job: Job) -> typing.Optional[ProcessorRecord]:
+        """Rule D.3: preempt from the job(s) with the largest allocation."""
+        if not self.policy.respect_priority:
+            return None  # Dyn-Aff-NoPri ignores D.3 entirely
+        my_alloc = self.allocation(job)
+        victims = [
+            (self.allocation(other), other)
+            for other in self.jobs
+            if other is not job and not other.finished
+        ]
+        if not victims:
+            return None
+        victims.sort(key=lambda item: (-item[0], item[1].name))
+        victim_alloc, victim = victims[0]
+        self.credit.refresh(job, self.system.now)
+        self.credit.refresh(victim, self.system.now)
+        if not self.credit.may_preempt(job, my_alloc, victim, victim_alloc):
+            return None
+        owned_busy = [p for p in self.procs if p.job is victim and p.is_busy]
+        if not owned_busy:
+            return None
+        proc = self.system.rng.choice(owned_busy)
+        self.system.preempt_processor(proc)
+        self.system.release_processor(proc)
+        return proc

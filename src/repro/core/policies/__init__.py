@@ -1,0 +1,30 @@
+"""The five space-sharing policies of Section 5."""
+
+from repro.core.policies.base import Policy, equipartition_allocation
+from repro.core.policies.dyn_aff import DYN_AFF, DynAff
+from repro.core.policies.dyn_aff_delay import DYN_AFF_DELAY, DynAffDelay
+from repro.core.policies.dyn_aff_nopri import DYN_AFF_NOPRI, DynAffNoPri
+from repro.core.policies.dynamic import DYNAMIC, Dynamic
+from repro.core.policies.equipartition import EQUIPARTITION, Equipartition
+
+#: All policies by display name, in the paper's presentation order.
+POLICIES = {
+    policy.name: policy
+    for policy in (EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_NOPRI, DYN_AFF_DELAY)
+}
+
+__all__ = [
+    "DYNAMIC",
+    "DYN_AFF",
+    "DYN_AFF_DELAY",
+    "DYN_AFF_NOPRI",
+    "Dynamic",
+    "DynAff",
+    "DynAffDelay",
+    "DynAffNoPri",
+    "EQUIPARTITION",
+    "Equipartition",
+    "POLICIES",
+    "Policy",
+    "equipartition_allocation",
+]

@@ -1,0 +1,458 @@
+"""The discrete-event scheduling system: jobs x policy x machine.
+
+This is the experimental testbed of Sections 5-6 in simulation form.  It
+executes a set of jobs (thread dependence graphs run by worker tasks)
+under one allocation policy on a machine model, charging every processor
+reallocation its kernel path length plus the cache reload penalty from the
+footprint model, and accounting the quantities the paper's response time
+model needs: work, waste, #reallocations, %affinity, and average
+allocation per job.
+
+Cost conventions (mirroring Section 2):
+
+* a *dispatch* of a worker task onto a processor costs the 750 us context
+  switch path plus the footprint model's cache reload penalty, and counts
+  as one reallocation experienced by the job;
+* a worker continuing into the next user-level thread on the same
+  processor costs nothing (user-level threading is the cheap fine-grained
+  parallelism the applications are built on);
+* a worker resuming on a processor its job *held* throughout, where it
+  was also the last task to run, costs nothing — this is Equipartition's
+  "perfect affinity" and Dyn-Aff-Delay's penalty-free work pickup;
+* a processor held by a job with nothing to run accrues *waste*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.allocator import Allocator, ProcessorRecord
+from repro.core.policies.base import Policy
+from repro.core.trace import AllocationTrace
+from repro.engine.rng import RngRegistry
+from repro.engine.simulator import Simulator
+from repro.machine.footprint import FootprintModel
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+from repro.threads.job import Job
+from repro.threads.workers import WorkerState, WorkerTask
+
+#: Event priority for job arrivals: before anything else at that instant.
+_ARRIVAL_PRIORITY = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class JobMetrics:
+    """Per-job outcome of one simulated run."""
+
+    name: str
+    response_time: float
+    work: float
+    waste: float
+    n_reallocations: int
+    pct_affinity: float
+    cache_penalty_total: float
+    switch_overhead_total: float
+    average_allocation: float
+
+    @property
+    def app(self) -> str:
+        """Application name (job name without the instance suffix)."""
+        return self.name.split("-")[0]
+
+    @property
+    def reallocation_interval(self) -> float:
+        """Mean seconds a processor runs between reallocations (Table 3 row 3)."""
+        if self.n_reallocations == 0:
+            return float("inf")
+        return self.response_time * self.average_allocation / self.n_reallocations
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemResult:
+    """Outcome of one simulated workload run."""
+
+    policy: str
+    n_processors: int
+    seed: int
+    makespan: float
+    jobs: typing.Dict[str, JobMetrics]
+
+    def mean_response_time(self) -> float:
+        """Average job response time, the paper's primary metric."""
+        if not self.jobs:
+            return 0.0
+        return sum(m.response_time for m in self.jobs.values()) / len(self.jobs)
+
+    def job(self, name: str) -> JobMetrics:
+        """Metrics for one job by name."""
+        return self.jobs[name]
+
+
+class SchedulingSystem:
+    """Runs one workload mix under one policy to completion."""
+
+    def __init__(
+        self,
+        jobs: typing.Sequence[Job],
+        policy: Policy,
+        machine: MachineSpec = SEQUENT_SYMMETRY,
+        n_processors: int = 16,
+        seed: int = 0,
+        rng: typing.Optional[RngRegistry] = None,
+        arrival_times: typing.Optional[typing.Sequence[float]] = None,
+        trace: typing.Optional["AllocationTrace"] = None,
+        footprint_model: typing.Optional[object] = None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("need at least one job")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        if n_processors > machine.n_processors:
+            raise ValueError(
+                f"machine {machine.name!r} has only {machine.n_processors} processors"
+            )
+        self.sim = Simulator(rng=rng, seed=seed)
+        self.machine = machine
+        self.policy = policy
+        self.jobs = list(jobs)
+        self.seed = seed
+        # The cache-pricing oracle: the analytic footprint model by
+        # default, or any object with the same note_run/reload_penalty
+        # surface (e.g. machine.cache_oracle.SimulatedCacheFootprint).
+        self.footprint = (
+            footprint_model if footprint_model is not None else FootprintModel(machine)
+        )
+        self.allocator = Allocator(policy, n_processors, self)
+        self.rng = self.sim.rng.stream("allocator")
+        self._arrivals = (
+            list(arrival_times) if arrival_times is not None else [0.0] * len(jobs)
+        )
+        if len(self._arrivals) != len(self.jobs):
+            raise ValueError("arrival_times must match jobs")
+        self._alloc_mark: typing.Dict[str, float] = {}
+        self._alloc_count: typing.Dict[str, int] = {}
+        self._busy_count: typing.Dict[str, int] = {}
+        self._finished_jobs = 0
+        #: optional allocation-timeline recorder (see repro.core.trace)
+        self.trace = trace
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    def run(self, until: typing.Optional[float] = None) -> SystemResult:
+        """Execute the workload to completion and return per-job metrics."""
+        for job, arrival in zip(self.jobs, self._arrivals):
+            self.sim.at(
+                arrival,
+                lambda j=job: self._arrive(j),
+                priority=_ARRIVAL_PRIORITY,
+                label=f"arrive:{job.name}",
+            )
+        self.sim.run(until=until)
+        if self.trace is not None:
+            self.trace.finish(self.now)
+        unfinished = [job.name for job in self.jobs if not job.finished]
+        if unfinished and until is None:
+            raise RuntimeError(
+                f"simulation stalled with unfinished jobs: {unfinished}"
+            )
+        metrics = {job.name: self._metrics_for(job) for job in self.jobs if job.finished}
+        return SystemResult(
+            policy=self.policy.name,
+            n_processors=len(self.allocator.procs),
+            seed=self.seed,
+            makespan=self.now,
+            jobs=metrics,
+        )
+
+    # ------------------------------------------------------------------ #
+    # arrival / completion
+
+    def _arrive(self, job: Job) -> None:
+        job.start(self.now)
+        self._alloc_mark[job.name] = self.now
+        self._alloc_count[job.name] = 0
+        self._busy_count[job.name] = 0
+        self.allocator.job_arrived(job)
+
+    def _complete_job(self, job: Job) -> None:
+        job.completion_time = self.now
+        self._touch_allocation(job)
+        self.allocator.job_departed(job)
+        self._finished_jobs += 1
+        if self._finished_jobs == len(self.jobs):
+            self.sim.stop()
+
+    def _metrics_for(self, job: Job) -> JobMetrics:
+        return JobMetrics(
+            name=job.name,
+            response_time=job.response_time,
+            work=job.work_done,
+            waste=job.waste,
+            n_reallocations=job.n_reallocations,
+            pct_affinity=job.affinity_percentage(),
+            cache_penalty_total=job.cache_penalty_total,
+            switch_overhead_total=job.switch_overhead_total,
+            average_allocation=job.average_allocation(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # allocation accounting
+
+    def _touch_allocation(self, job: Job) -> None:
+        """Integrate allocation x time for ``job`` up to now."""
+        mark = self._alloc_mark.get(job.name)
+        if mark is None:
+            return
+        job.allocation_integral += self._alloc_count[job.name] * (self.now - mark)
+        self._alloc_mark[job.name] = self.now
+
+    def _change_owner(
+        self, proc: ProcessorRecord, job: typing.Optional[Job]
+    ) -> None:
+        old = proc.job
+        if old is job:
+            return
+        if old is not None:
+            self._touch_allocation(old)
+            self._alloc_count[old.name] -= 1
+        if job is not None:
+            self._touch_allocation(job)
+            self._alloc_count[job.name] += 1
+        proc.job = job
+        if self.trace is not None:
+            self.trace.record(self.now, proc.cpu_id, job.name if job else None)
+
+    def _note_busy_change(self, job: Job, delta: int) -> None:
+        """Track busy (actually-executing) processors for the credit scheme.
+
+        Credits reward *using* few processors, so a processor held idle
+        (equipartition hold or a yield-delay window) banks credit for its
+        owner just as a released one would.
+        """
+        count = self._busy_count.get(job.name, 0) + delta
+        if count < 0:
+            raise RuntimeError(f"negative busy count for {job.name}")
+        self._busy_count[job.name] = count
+        self.allocator.credit.set_allocation(job, count, self.now)
+
+    # ------------------------------------------------------------------ #
+    # processor hand-off mechanics (called by the allocator and internally)
+
+    def grant_processor(
+        self,
+        proc: ProcessorRecord,
+        job: Job,
+        worker: typing.Optional[WorkerTask] = None,
+    ) -> None:
+        """Give ``proc`` to ``job`` and dispatch a worker if work exists.
+
+        The processor must be free or already held (idle) by ``job``.
+        """
+        if proc.job is not None and proc.job is not job:
+            raise RuntimeError(
+                f"processor {proc.cpu_id} belongs to {proc.job.name}, "
+                f"cannot grant to {job.name}"
+            )
+        was_held = proc.job is job
+        if proc.yield_handle is not None:
+            self.sim.cancel(proc.yield_handle)
+            proc.yield_handle = None
+        if proc.idle_since is not None:
+            job.waste += self.now - proc.idle_since
+            proc.idle_since = None
+        self._change_owner(proc, job)
+        if worker is None:
+            worker = job.select_worker(
+                proc.cpu_id, self.policy.use_affinity, self.policy.history_depth
+            )
+        if worker is None:
+            # Granted ahead of demand (equipartition): hold it idle.
+            proc.idle_since = self.now
+            return
+        self._dispatch(proc, job, worker, was_held=was_held)
+
+    def _dispatch(
+        self, proc: ProcessorRecord, job: Job, worker: WorkerTask, was_held: bool
+    ) -> None:
+        """Place ``worker`` on ``proc`` and schedule its thread completion."""
+        cheap = (
+            was_held
+            and worker.last_processor == proc.cpu_id
+            and proc.history.last_task == worker.key
+        )
+        if cheap:
+            overhead = 0.0
+            switch_charged = penalty_charged = 0.0
+        else:
+            penalty, affine = self.footprint.reload_penalty(worker.key, proc.cpu_id)
+            overhead = self.machine.context_switch_s + penalty
+            switch_charged = self.machine.context_switch_s
+            penalty_charged = penalty
+            job.n_reallocations += 1
+            if affine:
+                job.n_affine += 1
+            job.cache_penalty_total += penalty
+            job.switch_overhead_total += self.machine.context_switch_s
+        worker.note_dispatch(proc.cpu_id, self.now)
+        proc.worker = worker
+        proc.history.record(worker.key)
+        self._note_busy_change(job, +1)
+        if worker.current_thread is None:
+            tid = job.take_ready_thread(worker)
+            if tid is None:
+                raise RuntimeError(
+                    f"dispatched worker {worker.key} with no thread to run"
+                )
+            worker.current_thread = tid
+            worker.remaining_service = job.thread_service_for(worker, tid)
+        worker.stint_overhead = overhead
+        worker.stint_switch_charged = switch_charged
+        worker.stint_penalty_charged = penalty_charged
+        worker.completion_handle = self.sim.schedule(
+            overhead + worker.remaining_service,
+            lambda: self._on_thread_complete(proc, worker),
+            label=f"complete:{job.name}#{worker.index}",
+        )
+
+    def preempt_processor(self, proc: ProcessorRecord) -> None:
+        """Suspend the worker running on ``proc`` (rule D.3 / rebalance)."""
+        worker = proc.worker
+        if worker is None:
+            raise RuntimeError(f"processor {proc.cpu_id} is not running a worker")
+        job = proc.job
+        assert job is not None
+        if worker.completion_handle is not None:
+            self.sim.cancel(worker.completion_handle)
+            worker.completion_handle = None
+        elapsed = self.now - worker.segment_start
+        useful = min(max(0.0, elapsed - worker.stint_overhead), worker.remaining_service)
+        job.work_done += useful
+        worker.remaining_service -= useful
+        # Preempted before the dispatch overhead finished executing: the
+        # unconsumed portion of the charged switch/reload cost never
+        # happened — refund it so processor-time accounting balances.
+        unconsumed = max(0.0, worker.stint_overhead - elapsed)
+        if unconsumed > 0.0:
+            refund_penalty = min(unconsumed, worker.stint_penalty_charged)
+            job.cache_penalty_total -= refund_penalty
+            job.switch_overhead_total -= min(
+                unconsumed - refund_penalty, worker.stint_switch_charged
+            )
+        worker.stint_switch_charged = 0.0
+        worker.stint_penalty_charged = 0.0
+        duration = worker.note_departure(self.now, suspended=True)
+        self.footprint.note_run(worker.key, proc.cpu_id, duration, job.curve)
+        proc.worker = None
+        self._note_busy_change(job, -1)
+
+    def release_processor(self, proc: ProcessorRecord) -> None:
+        """Return ``proc`` to the free pool (it must not be running)."""
+        if proc.worker is not None:
+            raise RuntimeError(f"release of busy processor {proc.cpu_id}")
+        if proc.yield_handle is not None:
+            self.sim.cancel(proc.yield_handle)
+            proc.yield_handle = None
+        if proc.idle_since is not None and proc.job is not None:
+            proc.job.waste += self.now - proc.idle_since
+        proc.idle_since = None
+        self._change_owner(proc, None)
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+
+    def _on_thread_complete(self, proc: ProcessorRecord, worker: WorkerTask) -> None:
+        job = worker.job
+        worker.completion_handle = None
+        job.work_done += worker.remaining_service
+        tid = worker.current_thread
+        worker.current_thread = None
+        worker.remaining_service = 0.0
+        assert tid is not None
+        job.on_thread_complete(tid)
+
+        if job.finished:
+            duration = worker.note_departure(self.now, suspended=False)
+            self.footprint.note_run(worker.key, proc.cpu_id, duration, job.curve)
+            proc.worker = None
+            self._note_busy_change(job, -1)
+            self._complete_job(job)
+            return
+
+        next_tid = job.take_ready_thread(worker)
+        if next_tid is not None:
+            # Continue on the same processor: a user-level thread switch,
+            # free of kernel or cache cost.
+            worker.current_thread = next_tid
+            worker.remaining_service = job.thread_service_for(worker, next_tid)
+            worker.segment_start = self.now
+            worker.stint_overhead = 0.0
+            worker.stint_switch_charged = 0.0
+            worker.stint_penalty_charged = 0.0
+            worker.completion_handle = self.sim.schedule(
+                worker.remaining_service,
+                lambda: self._on_thread_complete(proc, worker),
+                label=f"complete:{job.name}#{worker.index}",
+            )
+        else:
+            self._worker_idle(proc, worker, job)
+
+        if job.ready or self._has_waiting_suspended(job):
+            self._place_new_work(job)
+
+    def _has_waiting_suspended(self, job: Job) -> bool:
+        return any(w.state == WorkerState.SUSPENDED for w in job.workers)
+
+    def _worker_idle(self, proc: ProcessorRecord, worker: WorkerTask, job: Job) -> None:
+        """The worker found no runnable thread: depart, then hold or yield."""
+        duration = worker.note_departure(self.now, suspended=False)
+        self.footprint.note_run(worker.key, proc.cpu_id, duration, job.curve)
+        proc.worker = None
+        self._note_busy_change(job, -1)
+
+        # A suspended sibling holds a partial thread: give it the processor.
+        sibling = job.select_worker(
+            proc.cpu_id, self.policy.use_affinity, self.policy.history_depth
+        )
+        if sibling is not None:
+            self._dispatch(proc, job, sibling, was_held=True)
+            return
+
+        if self.policy.is_equipartition:
+            proc.idle_since = self.now
+        elif self.policy.yield_delay_s > 0:
+            proc.idle_since = self.now
+            proc.yield_handle = self.sim.schedule(
+                self.policy.yield_delay_s,
+                lambda: self._yield_now(proc),
+                label=f"yield:{proc.cpu_id}",
+            )
+        else:
+            self.release_processor(proc)
+            self.allocator.processor_available(proc)
+
+    def _yield_now(self, proc: ProcessorRecord) -> None:
+        """Yield-delay expired with no new work: give the processor back."""
+        proc.yield_handle = None
+        self.release_processor(proc)
+        self.allocator.processor_available(proc)
+
+    def _place_new_work(self, job: Job) -> None:
+        """New runnable work appeared in ``job``: use held processors, then ask."""
+        for proc in self.allocator.procs:
+            if proc.job is job and proc.is_held_idle:
+                worker = job.select_worker(
+                    proc.cpu_id, prefer_affinity=True,
+                    history_depth=self.policy.history_depth,
+                )
+                if worker is None:
+                    break
+                self.grant_processor(proc, job, worker=worker)
+        self.allocator.new_work(job)

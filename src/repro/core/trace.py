@@ -1,0 +1,131 @@
+"""Recording and rendering processor-allocation timelines.
+
+An :class:`AllocationTrace` attached to a :class:`SchedulingSystem`
+records every ownership change of every processor.  The result can be
+queried (per-job allocation as a step function, per-processor segment
+lists) or rendered as an ASCII Gantt chart — one row per processor, one
+letter per job — which makes policy behavior directly visible:
+Equipartition's static bands, Dynamic's churn at GRAVITY's barriers,
+NoPri's starvation stripes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One continuous ownership interval of one processor."""
+
+    cpu: int
+    start: float
+    end: float
+    job: typing.Optional[str]
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+
+class AllocationTrace:
+    """Collects ownership-change events from a scheduling system."""
+
+    def __init__(self) -> None:
+        self._events: typing.Dict[int, typing.List[typing.Tuple[float, typing.Optional[str]]]] = {}
+        self._end_time = 0.0
+
+    def record(self, time: float, cpu: int, job: typing.Optional[str]) -> None:
+        """Note that ``cpu`` became owned by ``job`` (None = free) at ``time``."""
+        self._events.setdefault(cpu, []).append((time, job))
+        self._end_time = max(self._end_time, time)
+
+    def finish(self, time: float) -> None:
+        """Close the trace at the simulation end time."""
+        self._end_time = max(self._end_time, time)
+
+    @property
+    def end_time(self) -> float:
+        """Last recorded instant."""
+        return self._end_time
+
+    def processors(self) -> typing.List[int]:
+        """Processors with at least one recorded event, sorted."""
+        return sorted(self._events)
+
+    def segments(self, cpu: int) -> typing.List[Segment]:
+        """The ownership intervals of ``cpu``, in time order."""
+        events = self._events.get(cpu, [])
+        segments = []
+        for (start, job), (end, _) in zip(events, events[1:]):
+            if end > start:
+                segments.append(Segment(cpu, start, end, job))
+        if events and self._end_time > events[-1][0]:
+            start, job = events[-1]
+            segments.append(Segment(cpu, start, self._end_time, job))
+        return segments
+
+    def owner_at(self, cpu: int, time: float) -> typing.Optional[str]:
+        """The job owning ``cpu`` at ``time`` (None if free or unknown)."""
+        owner = None
+        for event_time, job in self._events.get(cpu, []):
+            if event_time > time:
+                break
+            owner = job
+        return owner
+
+    def allocation_of(self, job: str, time: float) -> int:
+        """Processors owned by ``job`` at ``time``."""
+        return sum(1 for cpu in self._events if self.owner_at(cpu, time) == job)
+
+    def job_names(self) -> typing.List[str]:
+        """All jobs ever seen, sorted by first appearance."""
+        seen: typing.List[str] = []
+        for events in self._events.values():
+            for _, job in events:
+                if job is not None and job not in seen:
+                    seen.append(job)
+        return seen
+
+    def render_gantt(self, width: int = 80) -> str:
+        """ASCII Gantt chart: rows = processors, columns = time buckets.
+
+        Each cell shows the job that owned the processor for the largest
+        share of that bucket (``.`` = mostly free).  A legend maps the
+        single-letter codes to job names.
+        """
+        if width < 10:
+            raise ValueError("width must be at least 10")
+        if not self._events or self._end_time <= 0:
+            return "(empty trace)"
+        jobs = self.job_names()
+        letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        code = {job: letters[i % len(letters)] for i, job in enumerate(jobs)}
+        bucket = self._end_time / width
+        lines = []
+        for cpu in self.processors():
+            row = []
+            segs = self.segments(cpu)
+            for column in range(width):
+                lo = column * bucket
+                hi = lo + bucket
+                best: typing.Dict[typing.Optional[str], float] = {}
+                for seg in segs:
+                    overlap = min(seg.end, hi) - max(seg.start, lo)
+                    if overlap > 0:
+                        best[seg.job] = best.get(seg.job, 0.0) + overlap
+                if not best:
+                    row.append(" ")
+                    continue
+                winner = max(best, key=lambda j: best[j])
+                row.append("." if winner is None else code[winner])
+            lines.append(f"cpu{cpu:3d} |" + "".join(row) + "|")
+        lines.append(
+            f"        0s{' ' * (width - 12)}{self._end_time:8.1f}s"
+        )
+        lines.append(
+            "legend: " + "  ".join(f"{code[j]} = {j}" for j in jobs) + "  . = free"
+        )
+        return "\n".join(lines)

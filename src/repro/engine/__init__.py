@@ -1,0 +1,34 @@
+"""Discrete-event simulation core used by every experiment in this package.
+
+The engine is deliberately small and dependency free: a virtual clock, a
+cancellable binary-heap event queue, a run loop with trace hooks, seeded
+per-component random streams, and the sample statistics (mean, confidence
+interval, replication driving) that the paper's methodology requires
+("enough replications of each experiment so that the 95% confidence
+interval is within 1% of the point estimate of the mean").
+"""
+
+from repro.engine.clock import VirtualClock
+from repro.engine.events import Event, EventHandle
+from repro.engine.queue import EventQueue
+from repro.engine.rng import RngRegistry
+from repro.engine.simulator import Simulator
+from repro.engine.stats import (
+    ConfidenceInterval,
+    ReplicationDriver,
+    SampleStats,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "ReplicationDriver",
+    "RngRegistry",
+    "SampleStats",
+    "Simulator",
+    "VirtualClock",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,84 @@
+"""Event records for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, seq)``.  ``priority`` breaks ties
+between events scheduled for the same instant (smaller runs first), and
+``seq`` — a monotonically increasing sequence number assigned by the queue —
+makes the ordering total and therefore deterministic: two runs with the same
+seed schedule and pop events in exactly the same order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+#: Default tie-break priority for events that do not care about intra-instant
+#: ordering.  Policies that must observe a consistent state (e.g. the
+#: allocator reacting *after* all thread completions at an instant) use
+#: larger values.
+DEFAULT_PRIORITY = 100
+
+
+@dataclasses.dataclass
+class Event:
+    """A single scheduled occurrence.
+
+    Attributes:
+        time: absolute virtual time (seconds) at which the event fires.
+        priority: intra-instant ordering; lower fires first.
+        seq: queue-assigned sequence number; makes ordering total.
+        action: zero-argument callable invoked when the event fires.
+        label: human-readable tag used by trace hooks and tests.
+        cancelled: set by :meth:`EventHandle.cancel`; cancelled events are
+            skipped (lazily) when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: typing.Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def sort_key(self) -> typing.Tuple[float, int, int]:
+        """Total ordering key used by the event queue."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class EventHandle:
+    """Opaque handle returned when scheduling, usable to cancel the event.
+
+    Cancellation is *lazy*: the event stays in the heap but is skipped when
+    it reaches the front.  This keeps cancellation O(1) and is the standard
+    trick for binary-heap event queues.
+    """
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute virtual time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The label the event was scheduled with."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self._event.time:.6f}, {self._event.label!r}, {state})"

@@ -1,0 +1,81 @@
+"""A cancellable binary-heap event queue with deterministic total ordering."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.engine.events import DEFAULT_PRIORITY, Event, EventHandle
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by ``(time, priority, seq)``.
+
+    The queue assigns each pushed event a monotonically increasing sequence
+    number so that events scheduled for the same instant and priority fire
+    in scheduling order.  Cancelled events are dropped lazily on pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: typing.List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: typing.Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute ``time``; returns a cancel handle."""
+        if time != time:  # NaN guard: a NaN time would corrupt heap order
+            raise ValueError("event time must not be NaN")
+        event = Event(time=time, priority=priority, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return EventHandle(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> typing.Optional[float]:
+        """Time of the earliest live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one queued event was cancelled externally.
+
+        :class:`EventHandle` cancellation flips the event's flag but cannot
+        reach back into the queue; the simulator calls this to keep the live
+        count exact.
+        """
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()
+        self._live = 0

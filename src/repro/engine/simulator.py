@@ -1,0 +1,137 @@
+"""The discrete-event run loop."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.clock import VirtualClock
+from repro.engine.events import DEFAULT_PRIORITY, Event, EventHandle
+from repro.engine.queue import EventQueue
+from repro.engine.rng import RngRegistry
+
+TraceHook = typing.Callable[[float, str], None]
+
+
+class Simulator:
+    """Drives a virtual clock over a cancellable event queue.
+
+    A simulation is built by scheduling callables (``schedule``/``at``) and
+    calling :meth:`run`.  Components receive the simulator instance and use
+    ``sim.now`` for the current time and ``sim.schedule`` for future work.
+
+    Trace hooks receive ``(time, label)`` for every fired event; they exist
+    for tests and debugging and are never required for correctness.
+    """
+
+    def __init__(self, rng: typing.Optional[RngRegistry] = None, seed: int = 0) -> None:
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.rng = rng if rng is not None else RngRegistry(seed)
+        self._trace_hooks: typing.List[TraceHook] = []
+        self._events_fired = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        """Register a ``(time, label)`` observer called for each fired event."""
+        self._trace_hooks.append(hook)
+
+    def schedule(
+        self,
+        delay: float,
+        action: typing.Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` to fire ``delay`` seconds from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        return self.queue.push(self.now + delay, action, priority=priority, label=label)
+
+    def at(
+        self,
+        time: float,
+        action: typing.Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute virtual ``time`` (>= now).
+
+        Raises:
+            ValueError: if ``time`` precedes the current time.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: now={self.now}, time={time}")
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not handle.cancelled:
+            handle.cancel()
+            self.queue.note_cancelled()
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run(self, until: typing.Optional[float] = None, max_events: typing.Optional[int] = None) -> float:
+        """Execute events in order until exhaustion, ``until``, or ``stop()``.
+
+        Args:
+            until: if given, stop once the next event would fire after this
+                time; the clock is advanced to ``until`` in that case.
+            max_events: optional safety valve for tests.
+
+        Returns:
+            The virtual time at which the run loop stopped.
+
+        Raises:
+            RuntimeError: if called re-entrantly from within an event.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run is not re-entrant")
+        self._running = True
+        self._stopped = False
+        fired_this_run = 0
+        try:
+            while self.queue and not self._stopped:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    return self.now
+                event = self.queue.pop()
+                self.clock.advance_to(event.time)
+                self._events_fired += 1
+                fired_this_run += 1
+                for hook in self._trace_hooks:
+                    hook(event.time, event.label)
+                event.action()
+                if max_events is not None and fired_this_run >= max_events:
+                    break
+            if until is not None and not self._stopped and self.now < until:
+                self.clock.advance_to(until)
+            return self.now
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.6f}, queued={len(self.queue)}, "
+            f"fired={self._events_fired})"
+        )

@@ -1,0 +1,182 @@
+"""Sample statistics and the replication protocol the paper uses.
+
+Section 6: "The average values shown represent enough replications of each
+experiment so that the 95% confidence interval is within 1% of the point
+estimate of the mean."  :class:`ReplicationDriver` implements exactly that
+stopping rule (with a hard cap so degenerate cases terminate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+#: Two-sided Student-t critical values at 95% confidence, indexed by degrees
+#: of freedom.  Entries beyond the table fall back to the normal quantile.
+_T_TABLE_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+_Z_95 = 1.960
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if dof in _T_TABLE_95:
+        return _T_TABLE_95[dof]
+    lower = max(k for k in _T_TABLE_95 if k <= dof) if dof > 1 else 1
+    if dof > 120:
+        return _Z_95
+    return _T_TABLE_95[lower]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float = 0.95
+    n: int = 0
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (inf for a zero mean)."""
+        if self.mean == 0:
+            return math.inf if self.half_width > 0 else 0.0
+        return abs(self.half_width / self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+class SampleStats:
+    """Streaming mean/variance via Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: typing.Iterable[float]) -> None:
+        """Incorporate several observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (inf when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (-inf when empty)."""
+        return self._max
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for n < 2)."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def confidence_interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """95% (only) Student-t confidence interval for the mean."""
+        if confidence != 0.95:
+            raise ValueError("only 95% confidence is tabulated")
+        if self._n < 2:
+            return ConfidenceInterval(self._mean, math.inf if self._n < 2 else 0.0, n=self._n)
+        half = t_critical_95(self._n - 1) * self.stddev / math.sqrt(self._n)
+        return ConfidenceInterval(self._mean, half, n=self._n)
+
+
+def mean_confidence_interval(values: typing.Sequence[float]) -> ConfidenceInterval:
+    """Convenience: 95% CI for the mean of ``values``."""
+    stats = SampleStats()
+    stats.extend(values)
+    return stats.confidence_interval()
+
+
+class ReplicationDriver:
+    """Runs replications of an experiment until the paper's stopping rule.
+
+    The rule: stop when the 95% confidence half-width of every tracked
+    metric's mean is within ``target_relative`` (default 1%) of the mean, or
+    ``max_replications`` is reached.  A ``min_replications`` floor avoids
+    stopping on the meaningless CI of one or two samples.
+    """
+
+    def __init__(
+        self,
+        run_once: typing.Callable[[int], typing.Mapping[str, float]],
+        target_relative: float = 0.01,
+        min_replications: int = 3,
+        max_replications: int = 50,
+    ) -> None:
+        if min_replications < 2:
+            raise ValueError("need at least 2 replications to form an interval")
+        if max_replications < min_replications:
+            raise ValueError("max_replications must be >= min_replications")
+        self._run_once = run_once
+        self._target = target_relative
+        self._min = min_replications
+        self._max = max_replications
+
+    def run(self) -> typing.Dict[str, ConfidenceInterval]:
+        """Execute replications; returns the CI per metric name."""
+        samples: typing.Dict[str, SampleStats] = {}
+        for replication in range(self._max):
+            metrics = self._run_once(replication)
+            for name, value in metrics.items():
+                samples.setdefault(name, SampleStats()).add(float(value))
+            if replication + 1 >= self._min and self._converged(samples):
+                break
+        return {name: stats.confidence_interval() for name, stats in samples.items()}
+
+    def _converged(self, samples: typing.Mapping[str, SampleStats]) -> bool:
+        for stats in samples.values():
+            ci = stats.confidence_interval()
+            if ci.relative_half_width() > self._target:
+                return False
+        return True

@@ -1,0 +1,33 @@
+"""Real implementations of the computations the applications model.
+
+The scheduling experiments use workload *models* of MVA, MATRIX and
+GRAVITY (thread graphs plus reference streams).  This package contains the
+actual computations those models abstract:
+
+* :mod:`~repro.kernels.mva_solver` — exact Mean Value Analysis for closed
+  product-form queueing networks (the wavefront dynamic program);
+* :mod:`~repro.kernels.matmul` — cache-blocked matrix multiplication;
+* :mod:`~repro.kernels.barnes_hut` — a 2-D Barnes-Hut quadtree N-body
+  simulator.
+
+They serve as runnable examples, as ground truth for the thread-graph
+shapes (the wavefront dependency structure, the flat block fan, the
+five-phase time step), and as ordinary useful library code.
+"""
+
+from repro.kernels.barnes_hut import Body, BarnesHutSimulation, QuadTree
+from repro.kernels.matmul import blocked_matmul, choose_block_size, naive_matmul
+from repro.kernels.mva_solver import MvaResult, QueueingNetwork, solve_mva, wavefront_order
+
+__all__ = [
+    "BarnesHutSimulation",
+    "Body",
+    "MvaResult",
+    "QuadTree",
+    "QueueingNetwork",
+    "blocked_matmul",
+    "choose_block_size",
+    "naive_matmul",
+    "solve_mva",
+    "wavefront_order",
+]

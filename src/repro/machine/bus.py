@@ -1,0 +1,47 @@
+"""Shared-bus contention model.
+
+The paper folds bus contention into the ``work`` term of its response time
+model (Section 2): contention lengthens the processor-seconds needed to
+complete an application, and measuring work captures that implicitly.  We
+provide the same abstraction explicitly: an M/D/1-style service inflation
+that the cache simulator can apply to miss resolution when several
+processors are generating miss traffic at once.
+"""
+
+from __future__ import annotations
+
+from repro.machine.params import MachineSpec
+
+
+class BusModel:
+    """M/D/1 waiting-time inflation for cache-miss bus transactions.
+
+    With aggregate miss rate ``lam`` (misses/second across all processors)
+    and deterministic per-miss bus service time ``s``, utilization is
+    ``rho = lam * s`` and the expected total time on the bus per miss is
+    ``s * (1 + rho / (2 * (1 - rho)))``.  Utilization is clamped below 1
+    (the machine saturates; the experiments never drive it there).
+    """
+
+    #: Utilization ceiling: queueing delay is evaluated at most at this load.
+    MAX_UTILIZATION = 0.95
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self._service = spec.miss_time_s
+
+    def utilization(self, aggregate_miss_rate: float) -> float:
+        """Bus utilization for ``aggregate_miss_rate`` misses/second."""
+        if aggregate_miss_rate < 0:
+            raise ValueError("miss rate must be non-negative")
+        return min(self.MAX_UTILIZATION, aggregate_miss_rate * self._service)
+
+    def effective_miss_time(self, aggregate_miss_rate: float) -> float:
+        """Per-miss resolution time including expected bus queueing."""
+        rho = self.utilization(aggregate_miss_rate)
+        waiting = self._service * rho / (2.0 * (1.0 - rho))
+        return self._service + waiting
+
+    def contention_factor(self, aggregate_miss_rate: float) -> float:
+        """Ratio of contended to uncontended miss time (>= 1)."""
+        return self.effective_miss_time(aggregate_miss_rate) / self._service

@@ -1,0 +1,133 @@
+"""A stateful set-associative cache simulator with LRU replacement.
+
+The simulator works at *block* granularity: callers present block indices
+(an application's address space divided into cache-line-sized blocks) and
+the cache maps each block to a set via ``block % n_sets`` — the same
+power-of-two indexing the Symmetry's physical cache uses.
+
+Lines are tagged ``(owner, block)``, where the owner identifies the task
+whose data occupies the line.  Owner tags let the Section 4 experiments ask
+"how much of task T's footprint survived the intervening task?" directly,
+which on the real machine had to be inferred from timing.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.machine.params import MachineSpec
+
+Tag = typing.Tuple[typing.Hashable, int]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Running hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when no accesses)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.hits = 0
+        self.misses = 0
+
+
+class SetAssociativeCache:
+    """An N-way set-associative cache with per-set LRU replacement.
+
+    Each set is an ``OrderedDict`` from tag to None, ordered least- to
+    most-recently used; ``move_to_end`` gives O(1) LRU maintenance.
+    """
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.n_sets = spec.cache_sets
+        self.associativity = spec.associativity
+        self.stats = CacheStats()
+        self._sets: typing.List["collections.OrderedDict[Tag, None]"] = [
+            collections.OrderedDict() for _ in range(self.n_sets)
+        ]
+        self._owner_lines: typing.Dict[typing.Hashable, int] = {}
+
+    def access(self, owner: typing.Hashable, block: int) -> bool:
+        """Reference ``block`` on behalf of ``owner``.
+
+        Returns:
+            True on a hit, False on a miss (after which the block is
+            resident, possibly evicting the set's LRU line).
+        """
+        index = block % self.n_sets
+        cache_set = self._sets[index]
+        tag = (owner, block)
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.associativity:
+            victim, _ = cache_set.popitem(last=False)
+            self._owner_lines[victim[0]] -= 1
+        cache_set[tag] = None
+        self._owner_lines[owner] = self._owner_lines.get(owner, 0) + 1
+        return False
+
+    def contains(self, owner: typing.Hashable, block: int) -> bool:
+        """True if ``owner``'s ``block`` is resident (does not touch LRU state)."""
+        return (owner, block) in self._sets[block % self.n_sets]
+
+    def footprint(self, owner: typing.Hashable) -> int:
+        """Number of lines currently owned by ``owner``."""
+        return self._owner_lines.get(owner, 0)
+
+    def resident_lines(self) -> int:
+        """Total number of valid lines in the cache."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> int:
+        """Invalidate every line; returns how many were dropped.
+
+        This models the Section 4 "migrating" regime, where enough memory
+        is referenced sequentially to eject all prior content.
+        """
+        dropped = self.resident_lines()
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._owner_lines.clear()
+        return dropped
+
+    def evict_owner(self, owner: typing.Hashable) -> int:
+        """Invalidate only ``owner``'s lines; returns how many were dropped."""
+        dropped = 0
+        for cache_set in self._sets:
+            victims = [tag for tag in cache_set if tag[0] == owner]
+            for tag in victims:
+                del cache_set[tag]
+                dropped += 1
+        if dropped:
+            self._owner_lines[owner] = 0
+        return dropped
+
+    def set_occupancy(self, index: int) -> int:
+        """Number of valid lines in set ``index`` (bounds-checked)."""
+        return len(self._sets[index])
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache(sets={self.n_sets}, assoc={self.associativity}, "
+            f"resident={self.resident_lines()}/{self.spec.cache_lines})"
+        )

@@ -1,0 +1,147 @@
+"""A simulated-cache drop-in for the analytic footprint model.
+
+The scheduling simulations price cache reloads with the analytic
+:class:`~repro.machine.footprint.FootprintModel`.  This module provides
+the high-fidelity alternative: a :class:`SimulatedCacheFootprint` keeps a
+real set-associative cache per processor and *plays each task's actual
+reference stream* through it for the duration of every stint.  Reload
+penalties then come from counted lines rather than survival formulas.
+
+It exposes the same ``note_run`` / ``reload_penalty`` / ``reset`` surface
+as the analytic model, so a :class:`~repro.core.system.SchedulingSystem`
+can run against either — which is how the repository cross-validates its
+central approximation end to end
+(``tests/core/test_oracle_validation.py`` and
+``benchmarks/bench_oracle_validation.py``).
+
+Cost: simulation is at touch granularity, so use a generous fidelity
+``scale`` (the default 64 keeps a ~100 processor-second workload in the
+seconds range) and scaled-down workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.apps.reference import ReferenceGenerator, ReferenceSpec, reduced_machine
+from repro.engine.rng import RngRegistry
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+
+
+@dataclasses.dataclass
+class _TaskState:
+    processor: typing.Optional[int] = None
+    footprint: int = 0  # reduced lines held at last departure
+
+
+class SimulatedCacheFootprint:
+    """Per-processor cache simulation behind the footprint-model interface.
+
+    Args:
+        reference_specs: reference model per job name (task keys are
+            ``(job name, worker index)``).
+        machine: the base machine being modelled.
+        scale: fidelity reduction (see :func:`reduced_machine`); penalties
+            in seconds are scale-invariant.
+        seed: master seed for the per-task reference streams.
+    """
+
+    def __init__(
+        self,
+        reference_specs: typing.Mapping[str, ReferenceSpec],
+        machine: MachineSpec = SEQUENT_SYMMETRY,
+        scale: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.spec = machine
+        self.scale = scale
+        self.reduced = reduced_machine(machine, scale)
+        self._reference_specs = {
+            name: spec.reduced(scale) for name, spec in reference_specs.items()
+        }
+        self._rng = RngRegistry(seed)
+        self._caches: typing.Dict[int, SetAssociativeCache] = {}
+        self._generators: typing.Dict[typing.Hashable, ReferenceGenerator] = {}
+        self._tasks: typing.Dict[typing.Hashable, _TaskState] = {}
+        #: total touches simulated (for cost introspection)
+        self.touches_simulated = 0
+
+    # -- the FootprintModel interface ---------------------------------- #
+
+    def reload_penalty(
+        self, task: typing.Hashable, processor: int
+    ) -> typing.Tuple[float, bool]:
+        """Penalty (seconds) to reload what ``task`` lost since departure."""
+        state = self._tasks.get(task)
+        if state is None:
+            return 0.0, False
+        had_affinity = state.processor == processor
+        cache = self._caches.get(processor)
+        surviving = cache.footprint(task) if cache is not None else 0
+        lost = max(0, state.footprint - surviving)
+        return lost * self.reduced.miss_time_s, had_affinity
+
+    def note_run(
+        self,
+        task: typing.Hashable,
+        processor: int,
+        duration: float,
+        curve: object,  # unused: the real stream replaces the curve
+    ) -> None:
+        """Play ``task``'s reference stream on ``processor`` for ``duration`` s."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        del curve
+        ref = self._spec_for(task)
+        cache = self._caches.setdefault(
+            processor, SetAssociativeCache(self.reduced)
+        )
+        generator = self._generators.get(task)
+        if generator is None:
+            generator = ReferenceGenerator(ref, self._rng.stream(str(task)))
+            self._generators[task] = generator
+        elapsed = 0.0
+        hit_cost = ref.refs_per_touch * self.reduced.hit_time_s
+        miss_cost = (
+            self.reduced.miss_time_s
+            + (ref.refs_per_touch - 1) * self.reduced.hit_time_s
+        )
+        while elapsed < duration:
+            hit = cache.access(task, generator.next_block())
+            elapsed += hit_cost if hit else miss_cost
+            self.touches_simulated += 1
+        state = self._tasks.setdefault(task, _TaskState())
+        state.processor = processor
+        state.footprint = cache.footprint(task)
+
+    def surviving_footprint(self, task: typing.Hashable, processor: int) -> float:
+        """Reduced lines of ``task`` still resident on ``processor``."""
+        cache = self._caches.get(processor)
+        return float(cache.footprint(task)) if cache is not None else 0.0
+
+    def forget(self, task: typing.Hashable) -> None:
+        """Drop a finished task's stream and residency records."""
+        self._tasks.pop(task, None)
+        self._generators.pop(task, None)
+
+    def reset(self) -> None:
+        """Clear all state (between replications)."""
+        self._caches.clear()
+        self._generators.clear()
+        self._tasks.clear()
+        self.touches_simulated = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _spec_for(self, task: typing.Hashable) -> ReferenceSpec:
+        job_name = task[0] if isinstance(task, tuple) else str(task)
+        # Job instances are named APP or APP-N; specs are keyed by job name
+        # first, then by the application prefix.
+        if job_name in self._reference_specs:
+            return self._reference_specs[job_name]
+        app = str(job_name).split("-")[0]
+        if app in self._reference_specs:
+            return self._reference_specs[app]
+        raise KeyError(f"no reference spec for task {task!r}")

@@ -1,0 +1,54 @@
+"""The whole machine: processors, shared bus, shared memory."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.machine.bus import BusModel
+from repro.machine.params import MachineSpec
+from repro.machine.processor import Processor
+
+
+class Multiprocessor:
+    """A bus-based UMA shared-memory multiprocessor.
+
+    Holds ``spec.n_processors`` processors, each with a private cache, plus
+    the shared bus model.  The allocation experiments address processors by
+    id; the machine is purely a container with aggregate accounting.
+    """
+
+    def __init__(self, spec: MachineSpec, n_processors: typing.Optional[int] = None) -> None:
+        self.spec = spec
+        count = n_processors if n_processors is not None else spec.n_processors
+        if count <= 0:
+            raise ValueError("need at least one processor")
+        if count > spec.n_processors:
+            raise ValueError(
+                f"machine has only {spec.n_processors} processors, asked for {count}"
+            )
+        self.processors = [Processor(i, spec) for i in range(count)]
+        self.bus = BusModel(spec)
+
+    def __len__(self) -> int:
+        return len(self.processors)
+
+    def __getitem__(self, cpu_id: int) -> Processor:
+        return self.processors[cpu_id]
+
+    def __iter__(self) -> typing.Iterator[Processor]:
+        return iter(self.processors)
+
+    def total_busy_time(self) -> float:
+        """Sum of per-processor busy time (processor-seconds)."""
+        return sum(p.busy_time for p in self.processors)
+
+    def aggregate_hit_rate(self) -> float:
+        """Machine-wide cache hit rate (0.0 if no accesses anywhere)."""
+        hits = sum(p.cache.stats.hits for p in self.processors)
+        accesses = sum(p.cache.stats.accesses for p in self.processors)
+        if not accesses:
+            return 0.0
+        return hits / accesses
+
+    def __repr__(self) -> str:
+        return f"Multiprocessor({self.spec.name!r}, n={len(self)})"

@@ -1,0 +1,55 @@
+"""A single processor with its private cache."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.params import MachineSpec
+
+
+class Processor:
+    """One CPU of the machine: an id, a private cache, and time accounting.
+
+    The processor exposes a *touch* API used by the reference-trace
+    experiments: a touch is one block access that stands for
+    ``refs_per_touch`` consecutive references to that block (the trace
+    generators aggregate temporal locality this way to keep the simulation
+    tractable; only the first reference of a run can miss).
+    """
+
+    def __init__(self, cpu_id: int, spec: MachineSpec) -> None:
+        self.cpu_id = cpu_id
+        self.spec = spec
+        self.cache = SetAssociativeCache(spec)
+        self.busy_time = 0.0
+        self.current_task: typing.Optional[typing.Hashable] = None
+
+    def touch(self, owner: typing.Hashable, block: int, refs_per_touch: int = 1) -> float:
+        """Access ``block`` for ``owner``; returns the time cost in seconds.
+
+        A hit costs ``refs_per_touch`` hit-times; a miss costs one miss
+        resolution plus the remaining references at hit speed.
+        """
+        if refs_per_touch < 1:
+            raise ValueError("refs_per_touch must be at least 1")
+        hit = self.cache.access(owner, block)
+        if hit:
+            cost = refs_per_touch * self.spec.hit_time_s
+        else:
+            cost = self.spec.miss_time_s + (refs_per_touch - 1) * self.spec.hit_time_s
+        self.busy_time += cost
+        return cost
+
+    def context_switch(self, new_task: typing.Optional[typing.Hashable]) -> float:
+        """Switch to ``new_task``; returns the kernel path-length cost."""
+        self.current_task = new_task
+        self.busy_time += self.spec.context_switch_s
+        return self.spec.context_switch_s
+
+    def flush_cache(self) -> int:
+        """Invalidate the private cache (returns lines dropped)."""
+        return self.cache.flush()
+
+    def __repr__(self) -> str:
+        return f"Processor(id={self.cpu_id}, task={self.current_task!r})"

@@ -1,0 +1,222 @@
+"""The Section 4 cache-penalty measurement (Table 1).
+
+The paper's experiment: run each program on a single processor under a
+special allocator that reschedules it every Q ms, taking one of three
+actions at each rescheduling point:
+
+* **stationary** — immediately replace the program (baseline);
+* **migrating** — flush the cache, then replace (captures ``P^NA``, the
+  penalty of resuming where the task has no affinity);
+* **multiprog** — run a task from another program for duration Q, then
+  replace (captures ``P^A``, the penalty of resuming with affinity after
+  an intervening task).
+
+Then::
+
+    P^NA = (RT_migrating - RT_stationary) / #switches
+    P^A  = (RT_multiprog - RT_stationary) / #switches
+
+We reproduce the experiment on the stateful cache simulator.  Every regime
+executes the *identical* touch sequence for the measured program (common
+random numbers), so response time differences are purely miss-pattern
+differences, exactly as on the real machine.
+
+Fidelity scaling: simulating the full 4096-line cache touch-by-touch is
+slow in Python, so the experiment runs by default at 1/16 scale — cache
+and working sets shrink 16x while the per-miss time grows 16x, leaving all
+penalties in *seconds* unchanged (see :func:`repro.apps.reference.reduced_machine`).
+Tests validate that scale does not bias the measured penalties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.apps.base import AppSpec
+from repro.apps.reference import ReferenceGenerator, reduced_machine
+from repro.engine.rng import RngRegistry
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+from repro.machine.processor import Processor
+
+#: The paper's rescheduling intervals: a typical I/O wait, the DYNIX time
+#: sharing quantum, and a rough dynamic space-sharing reallocation interval.
+PAPER_QUANTA_S = (0.025, 0.100, 0.400)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegimeRun:
+    """Outcome of running the measured program under one regime."""
+
+    response_time: float
+    n_switches: int
+    hit_rate: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PenaltyResult:
+    """Measured penalties for one (application, Q) pair."""
+
+    app: str
+    q_s: float
+    stationary: RegimeRun
+    migrating: RegimeRun
+    multiprog: typing.Dict[str, RegimeRun]
+
+    @property
+    def p_na_s(self) -> float:
+        """``P^NA`` in seconds per switch."""
+        extra = self.migrating.response_time - self.stationary.response_time
+        return extra / max(1, self.migrating.n_switches)
+
+    def p_a_s(self, partner: str) -> float:
+        """``P^A`` in seconds per switch, against ``partner``'s interference."""
+        run = self.multiprog[partner]
+        extra = run.response_time - self.stationary.response_time
+        return extra / max(1, run.n_switches)
+
+    @property
+    def p_na_us(self) -> float:
+        """``P^NA`` in microseconds (Table 1's unit)."""
+        return self.p_na_s * 1e6
+
+    def p_a_us(self, partner: str) -> float:
+        """``P^A`` in microseconds (Table 1's unit)."""
+        return self.p_a_s(partner) * 1e6
+
+
+@dataclasses.dataclass(frozen=True)
+class PenaltyTable:
+    """The full Table 1: results per app per Q."""
+
+    results: typing.Dict[typing.Tuple[str, float], PenaltyResult]
+    partner_names: typing.Tuple[str, ...]
+
+    def result(self, app: str, q_s: float) -> PenaltyResult:
+        """Lookup one cell group."""
+        return self.results[(app, q_s)]
+
+    def quanta(self) -> typing.List[float]:
+        """Distinct Q values present, sorted."""
+        return sorted({q for (_, q) in self.results})
+
+    def apps(self) -> typing.List[str]:
+        """Distinct measured applications, in first-seen order."""
+        seen: typing.List[str] = []
+        for app, _ in self.results:
+            if app not in seen:
+                seen.append(app)
+        return seen
+
+
+class PenaltyExperiment:
+    """Single-processor Q-rescheduling measurement on the cache simulator."""
+
+    def __init__(
+        self,
+        machine: MachineSpec = SEQUENT_SYMMETRY,
+        scale: int = 16,
+        n_switches_target: int = 40,
+        min_run_s: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if n_switches_target < 2:
+            raise ValueError("need at least 2 switches for a measurement")
+        self.machine = reduced_machine(machine, scale)
+        self.scale = scale
+        self.n_switches_target = n_switches_target
+        self.min_run_s = min_run_s
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+
+    def _touch_count(self, app: AppSpec, q_s: float) -> int:
+        """Touches amounting to ~n_switches_target slices of hit-speed work."""
+        ref = app.reference.reduced(self.scale)
+        total_seconds = max(self.min_run_s, self.n_switches_target * q_s)
+        per_touch = ref.refs_per_touch * self.machine.hit_time_s
+        return int(total_seconds / per_touch)
+
+    def _run_regime(
+        self,
+        app: AppSpec,
+        q_s: float,
+        regime: str,
+        partner: typing.Optional[AppSpec],
+        n_touches: int,
+    ) -> RegimeRun:
+        """Execute the measured program once under one regime."""
+        rng = RngRegistry(self.seed).spawn(f"{app.name}/q{q_s:g}")
+        app_ref = app.reference.reduced(self.scale)
+        gen = ReferenceGenerator(app_ref, rng.stream("app"))
+        partner_gen = None
+        partner_ref = None
+        if partner is not None:
+            partner_ref = partner.reference.reduced(self.scale)
+            partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
+
+        proc = Processor(0, self.machine)
+        response_time = 0.0
+        slice_left = q_s
+        switches = 0
+        for _ in range(n_touches):
+            cost = proc.touch("measured", gen.next_block(), app_ref.refs_per_touch)
+            response_time += cost
+            slice_left -= cost
+            if slice_left <= 0.0:
+                switches += 1
+                slice_left = q_s
+                if regime == "migrating":
+                    proc.flush_cache()
+                elif regime == "multiprog":
+                    assert partner_gen is not None and partner_ref is not None
+                    budget = q_s
+                    while budget > 0.0:
+                        budget -= proc.touch(
+                            "partner",
+                            partner_gen.next_block(),
+                            partner_ref.refs_per_touch,
+                        )
+        return RegimeRun(
+            response_time=response_time,
+            n_switches=switches,
+            hit_rate=proc.cache.stats.hit_rate,
+        )
+
+    def measure(
+        self,
+        app: AppSpec,
+        q_s: float,
+        partners: typing.Sequence[AppSpec],
+    ) -> PenaltyResult:
+        """Measure ``P^NA`` and ``P^A`` (one per partner) for ``app`` at Q."""
+        if q_s <= 0:
+            raise ValueError("Q must be positive")
+        n_touches = self._touch_count(app, q_s)
+        stationary = self._run_regime(app, q_s, "stationary", None, n_touches)
+        migrating = self._run_regime(app, q_s, "migrating", None, n_touches)
+        multiprog = {
+            partner.name: self._run_regime(app, q_s, "multiprog", partner, n_touches)
+            for partner in partners
+        }
+        return PenaltyResult(
+            app=app.name,
+            q_s=q_s,
+            stationary=stationary,
+            migrating=migrating,
+            multiprog=multiprog,
+        )
+
+    def table1(
+        self,
+        apps: typing.Sequence[AppSpec],
+        quanta: typing.Sequence[float] = PAPER_QUANTA_S,
+    ) -> PenaltyTable:
+        """Reproduce the whole of Table 1 for ``apps`` x ``quanta``."""
+        results = {}
+        for app in apps:
+            for q_s in quanta:
+                results[(app.name, q_s)] = self.measure(app, q_s, partners=apps)
+        return PenaltyTable(
+            results=results, partner_names=tuple(a.name for a in apps)
+        )

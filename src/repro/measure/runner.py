@@ -1,0 +1,229 @@
+"""Running workload mixes under policies (the Section 6 experiments)."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.policies.base import Policy
+from repro.core.system import JobMetrics, SchedulingSystem, SystemResult
+from repro.engine.rng import RngRegistry
+from repro.engine.stats import ConfidenceInterval, SampleStats
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+from repro.measure.workloads import MIXES, WorkloadMix, make_jobs
+
+#: Default processor count: the paper profiles and schedules on 16 of the
+#: Symmetry's 20 processors (the rest ran the OS and the allocator).
+DEFAULT_PROCESSORS = 16
+
+
+def run_mix(
+    mix: typing.Union[int, WorkloadMix],
+    policy: Policy,
+    seed: int = 0,
+    n_processors: int = DEFAULT_PROCESSORS,
+    machine: MachineSpec = SEQUENT_SYMMETRY,
+) -> SystemResult:
+    """Run one mix once under one policy; returns per-job metrics.
+
+    The workload RNG stream is derived from ``seed`` but *not* from the
+    policy, so different policies scheduling the same seed see the same
+    jobs — the common-random-numbers pairing the paper's relative response
+    times rely on.
+    """
+    rng = RngRegistry(seed)
+    jobs = make_jobs(mix, rng.spawn("workload"), n_processors=n_processors, machine=machine)
+    system = SchedulingSystem(
+        jobs,
+        policy,
+        machine=machine,
+        n_processors=n_processors,
+        seed=seed,
+        rng=rng.spawn(f"system/{policy.name}"),
+    )
+    return system.run()
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSummary:
+    """Replication-averaged metrics for one job under one policy."""
+
+    name: str
+    response_time: ConfidenceInterval
+    n_reallocations: float
+    pct_affinity: float
+    reallocation_interval: float
+    work: float
+    waste: float
+    average_allocation: float
+
+    @property
+    def app(self) -> str:
+        """Application name (job name without instance suffix)."""
+        return self.name.split("-")[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class MixComparison:
+    """One mix run under several policies with replications."""
+
+    mix: WorkloadMix
+    n_replications: int
+    summaries: typing.Dict[str, typing.Dict[str, JobSummary]]  # policy -> job -> summary
+
+    def policies(self) -> typing.List[str]:
+        """Policy names present."""
+        return list(self.summaries)
+
+    def job_names(self) -> typing.List[str]:
+        """Job names (consistent across policies)."""
+        first = next(iter(self.summaries.values()))
+        return list(first)
+
+    def relative_response_time(self, policy: str, job: str, baseline: str) -> float:
+        """RT under ``policy`` divided by RT under ``baseline`` for ``job``."""
+        rt = self.summaries[policy][job].response_time.mean
+        base = self.summaries[baseline][job].response_time.mean
+        return rt / base
+
+    def mean_response_time(self, policy: str) -> float:
+        """Average of per-job mean response times under ``policy``."""
+        jobs = self.summaries[policy]
+        return sum(s.response_time.mean for s in jobs.values()) / len(jobs)
+
+
+def compare_policies(
+    mix: typing.Union[int, WorkloadMix],
+    policies: typing.Sequence[Policy],
+    replications: int = 5,
+    base_seed: int = 0,
+    n_processors: int = DEFAULT_PROCESSORS,
+    machine: MachineSpec = SEQUENT_SYMMETRY,
+) -> MixComparison:
+    """Run ``mix`` under each policy for ``replications`` seeds.
+
+    Replication ``r`` of every policy shares workload seed ``base_seed + r``
+    (common random numbers), following the paper's paired comparisons
+    against Equipartition.
+    """
+    if isinstance(mix, int):
+        mix = MIXES[mix]
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    per_policy: typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]] = {}
+    for policy in policies:
+        collected: typing.Dict[str, typing.List[JobMetrics]] = {}
+        for r in range(replications):
+            result = run_mix(
+                mix, policy, seed=base_seed + r, n_processors=n_processors, machine=machine
+            )
+            for name, metrics in result.jobs.items():
+                collected.setdefault(name, []).append(metrics)
+        per_policy[policy.name] = collected
+
+    summaries: typing.Dict[str, typing.Dict[str, JobSummary]] = {}
+    for policy_name, collected in per_policy.items():
+        summaries[policy_name] = {
+            name: _summarize(name, samples) for name, samples in collected.items()
+        }
+    return MixComparison(mix=mix, n_replications=replications, summaries=summaries)
+
+
+def _summarize(name: str, samples: typing.List[JobMetrics]) -> JobSummary:
+    rt = SampleStats()
+    for m in samples:
+        rt.add(m.response_time)
+    n = len(samples)
+    return JobSummary(
+        name=name,
+        response_time=rt.confidence_interval(),
+        n_reallocations=sum(m.n_reallocations for m in samples) / n,
+        pct_affinity=sum(m.pct_affinity for m in samples) / n,
+        reallocation_interval=sum(m.reallocation_interval for m in samples) / n,
+        work=sum(m.work for m in samples) / n,
+        waste=sum(m.waste for m in samples) / n,
+        average_allocation=sum(m.average_allocation for m in samples) / n,
+    )
+
+
+def compare_policies_to_confidence(
+    mix: typing.Union[int, WorkloadMix],
+    policies: typing.Sequence[Policy],
+    target_relative: float = 0.01,
+    min_replications: int = 3,
+    max_replications: int = 50,
+    base_seed: int = 0,
+    n_processors: int = DEFAULT_PROCESSORS,
+    machine: MachineSpec = SEQUENT_SYMMETRY,
+) -> MixComparison:
+    """Run replications until the paper's confidence criterion is met.
+
+    Section 6: "enough replications of each experiment so that the 95%
+    confidence interval is within 1% of the point estimate of the mean" —
+    applied to every job's response time under every policy (with a cap
+    so pathological cases terminate; the paper does not state one).
+    """
+    if isinstance(mix, int):
+        mix = MIXES[mix]
+    if min_replications < 2:
+        raise ValueError("need at least 2 replications to form an interval")
+    if max_replications < min_replications:
+        raise ValueError("max_replications must be >= min_replications")
+    collected: typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]] = {
+        policy.name: {} for policy in policies
+    }
+    for replication in range(max_replications):
+        for policy in policies:
+            result = run_mix(
+                mix,
+                policy,
+                seed=base_seed + replication,
+                n_processors=n_processors,
+                machine=machine,
+            )
+            for name, metrics in result.jobs.items():
+                collected[policy.name].setdefault(name, []).append(metrics)
+        if replication + 1 >= min_replications and _all_converged(
+            collected, target_relative
+        ):
+            break
+    summaries = {
+        policy_name: {
+            name: _summarize(name, samples) for name, samples in jobs.items()
+        }
+        for policy_name, jobs in collected.items()
+    }
+    n_done = len(next(iter(next(iter(collected.values())).values())))
+    return MixComparison(mix=mix, n_replications=n_done, summaries=summaries)
+
+
+def _all_converged(
+    collected: typing.Mapping[str, typing.Mapping[str, typing.List[JobMetrics]]],
+    target_relative: float,
+) -> bool:
+    for jobs in collected.values():
+        for samples in jobs.values():
+            stats = SampleStats()
+            for m in samples:
+                stats.add(m.response_time)
+            if stats.confidence_interval().relative_half_width() > target_relative:
+                return False
+    return True
+
+
+def relative_response_times(
+    comparison: MixComparison,
+    baseline: str = "Equipartition",
+) -> typing.Dict[str, typing.Dict[str, float]]:
+    """Figure 5/6 data: RT relative to ``baseline``, per policy per job."""
+    if baseline not in comparison.summaries:
+        raise KeyError(f"baseline policy {baseline!r} was not run")
+    out: typing.Dict[str, typing.Dict[str, float]] = {}
+    for policy in comparison.policies():
+        if policy == baseline:
+            continue
+        out[policy] = {
+            job: comparison.relative_response_time(policy, job, baseline)
+            for job in comparison.job_names()
+        }
+    return out

@@ -1,0 +1,43 @@
+"""The analytic response time model (Sections 2 and 7).
+
+* :mod:`~repro.model.response_time` — equations (1) and (2): response time
+  from work, waste, reallocations, and the affinity-weighted cache penalty.
+* :mod:`~repro.model.future` — the Figure 7 extension: ``processor-speed``
+  and ``cache-size`` scaling with square-root miss-resolution and
+  no-affinity-penalty growth.
+* :mod:`~repro.model.params` — extraction of model parameters from
+  simulation results and measured penalties.
+"""
+
+from repro.model.affinity_queueing import (
+    AffinityQueueingModel,
+    QueueingConfig,
+    QueueingStats,
+    compare_disciplines,
+)
+from repro.model.future import FutureMachineModel, RelativeSeries, sweep_relative
+from repro.model.params import (
+    DEFAULT_PENALTIES,
+    PenaltyParameters,
+    PolicyObservation,
+    observations_from_comparison,
+    penalties_from_table,
+)
+from repro.model.response_time import cache_penalty, response_time
+
+__all__ = [
+    "AffinityQueueingModel",
+    "DEFAULT_PENALTIES",
+    "FutureMachineModel",
+    "PenaltyParameters",
+    "PolicyObservation",
+    "QueueingConfig",
+    "QueueingStats",
+    "RelativeSeries",
+    "cache_penalty",
+    "compare_disciplines",
+    "observations_from_comparison",
+    "penalties_from_table",
+    "response_time",
+    "sweep_relative",
+]

@@ -1,0 +1,148 @@
+"""The extended response time model for future machines (Figure 7).
+
+::
+
+    RT = [ (work + waste) / speed
+           + N x ( realloc-time / speed  +  penalty_future / sqrt(speed) )
+         ] / average-allocation
+
+    penalty_future = %affinity x P^A / cache-size
+                   + %no-affinity x P^NA x sqrt(cache-size)
+
+Assumptions, as argued in Section 7.1:
+
+* computation scales linearly with processor speed (optimistic);
+* miss resolution speeds up only as sqrt(processor-speed) ([Jouppi 90]),
+  so the cache penalty divides by sqrt(speed) rather than speed;
+* larger caches preserve more of a returning task's image across
+  intervening tasks — the affinity penalty divides by cache-size —
+* but also let applications cache more data, so the no-affinity penalty
+  grows as sqrt(cache-size) (chosen between the constant and linear
+  extremes, per [Wang et al. 89]).
+
+The paper plots relative response time against the *product*
+``processor-speed x cache-size``, observing that along the technology
+trajectory where both grow together, results depend on the product to
+better than three significant digits; :func:`sweep_relative` follows the
+same presentation (``speed = cache = sqrt(product)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+from repro.model.params import PenaltyParameters, PolicyObservation
+from repro.model.response_time import cache_penalty
+
+
+class FutureMachineModel:
+    """Evaluates the Figure 7 model for one machine lineage."""
+
+    def __init__(
+        self,
+        penalties: typing.Mapping[str, PenaltyParameters],
+        base_machine: MachineSpec = SEQUENT_SYMMETRY,
+    ) -> None:
+        self.penalties = dict(penalties)
+        self.base_machine = base_machine
+
+    def penalty_future(
+        self,
+        observation: PolicyObservation,
+        cache_size: float,
+    ) -> float:
+        """The future cache penalty of one reallocation (seconds)."""
+        if cache_size <= 0:
+            raise ValueError("cache_size factor must be positive")
+        if observation.app not in self.penalties:
+            raise KeyError(f"no penalties for application {observation.app!r}")
+        p = self.penalties[observation.app]
+        return cache_penalty(
+            observation.pct_affinity,
+            p.p_a / cache_size,
+            p.p_na * math.sqrt(cache_size),
+        )
+
+    def response_time(
+        self,
+        observation: PolicyObservation,
+        processor_speed: float = 1.0,
+        cache_size: float = 1.0,
+    ) -> float:
+        """Predicted response time on a ``(speed, cache)``-scaled machine."""
+        if processor_speed <= 0:
+            raise ValueError("processor_speed factor must be positive")
+        penalty = self.penalty_future(observation, cache_size)
+        compute = (observation.work + observation.waste) / processor_speed
+        per_realloc = (
+            self.base_machine.context_switch_s / processor_speed
+            + penalty / math.sqrt(processor_speed)
+        )
+        numerator = compute + observation.n_reallocations * per_realloc
+        return numerator / observation.average_allocation
+
+    def relative_response_time(
+        self,
+        observation: PolicyObservation,
+        baseline: PolicyObservation,
+        processor_speed: float = 1.0,
+        cache_size: float = 1.0,
+    ) -> float:
+        """RT of ``observation`` divided by RT of ``baseline`` on the same machine."""
+        mine = self.response_time(observation, processor_speed, cache_size)
+        theirs = self.response_time(baseline, processor_speed, cache_size)
+        return mine / theirs
+
+
+@dataclasses.dataclass(frozen=True)
+class RelativeSeries:
+    """One curve of Figures 8-13: relative RT vs speed x cache product."""
+
+    policy: str
+    job: str
+    products: typing.Tuple[float, ...]
+    ratios: typing.Tuple[float, ...]
+
+    def crossover_product(self) -> typing.Optional[float]:
+        """First product at which the policy stops beating the baseline.
+
+        Returns None if the curve stays below 1 over the whole sweep.
+        """
+        for product, ratio in zip(self.products, self.ratios):
+            if ratio >= 1.0:
+                return product
+        return None
+
+
+#: Default sweep: 1x (the Symmetry) to 10^6x speed-times-cache.
+DEFAULT_PRODUCTS: typing.Tuple[float, ...] = tuple(
+    10 ** (exponent / 2.0) for exponent in range(0, 13)
+)
+
+
+def sweep_relative(
+    model: FutureMachineModel,
+    observation: PolicyObservation,
+    baseline: PolicyObservation,
+    products: typing.Sequence[float] = DEFAULT_PRODUCTS,
+) -> RelativeSeries:
+    """Sweep the technology trajectory ``speed = cache = sqrt(product)``."""
+    ratios = []
+    for product in products:
+        if product <= 0:
+            raise ValueError("products must be positive")
+        factor = math.sqrt(product)
+        ratios.append(
+            model.relative_response_time(
+                observation, baseline, processor_speed=factor, cache_size=factor
+            )
+        )
+    return RelativeSeries(
+        policy=observation.policy,
+        job=observation.job,
+        products=tuple(products),
+        ratios=tuple(ratios),
+    )

@@ -1,0 +1,57 @@
+"""Equations (1) and (2) of the paper (Figure 1).
+
+::
+
+    RT(X, j) = [ work + waste + #reallocations x (reallocation-time
+                 + cache-penalty) ] / average-allocation          (1)
+
+    cache-penalty(X, j) = %affinity x P^A + %no-affinity x P^NA   (2)
+
+All times in seconds; ``pct_affinity`` in percent (0-100), matching the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+
+def cache_penalty(pct_affinity: float, p_a: float, p_na: float) -> float:
+    """Equation (2): expected cache penalty of one reallocation.
+
+    Args:
+        pct_affinity: percentage of reallocations that resume a task on a
+            processor for which the task has affinity (0-100).
+        p_a: average penalty when resuming *with* affinity (seconds).
+        p_na: average penalty when resuming *without* affinity (seconds).
+    """
+    if not 0.0 <= pct_affinity <= 100.0:
+        raise ValueError("pct_affinity must be a percentage in [0, 100]")
+    if p_a < 0 or p_na < 0:
+        raise ValueError("penalties must be non-negative")
+    affinity = pct_affinity / 100.0
+    return affinity * p_a + (1.0 - affinity) * p_na
+
+
+def response_time(
+    work: float,
+    waste: float,
+    n_reallocations: float,
+    reallocation_time: float,
+    penalty: float,
+    average_allocation: float,
+) -> float:
+    """Equation (1): job response time under one policy.
+
+    Args:
+        work: useful processor-seconds of the job.
+        waste: processor-seconds spent holding processors with no work.
+        n_reallocations: processor reallocations the job experiences.
+        reallocation_time: kernel path length of one reallocation (seconds).
+        penalty: cache penalty of one reallocation (equation (2)).
+        average_allocation: mean processors held over the job's lifetime.
+    """
+    if average_allocation <= 0:
+        raise ValueError("average_allocation must be positive")
+    if min(work, waste, n_reallocations, reallocation_time, penalty) < 0:
+        raise ValueError("all model terms must be non-negative")
+    numerator = work + waste + n_reallocations * (reallocation_time + penalty)
+    return numerator / average_allocation

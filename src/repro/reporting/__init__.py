@@ -1,0 +1,22 @@
+"""Rendering of the paper's tables and figures as text and CSV."""
+
+from repro.reporting.figures import ascii_chart, parallelism_histogram
+from repro.reporting.tables import (
+    format_table,
+    render_table1,
+    render_table3,
+    render_table4,
+    render_relative_rt_table,
+)
+from repro.reporting.export import rows_to_csv
+
+__all__ = [
+    "ascii_chart",
+    "format_table",
+    "parallelism_histogram",
+    "render_relative_rt_table",
+    "render_table1",
+    "render_table3",
+    "render_table4",
+    "rows_to_csv",
+]

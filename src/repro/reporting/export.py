@@ -1,0 +1,24 @@
+"""CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import typing
+
+
+def rows_to_csv(
+    headers: typing.Sequence[str],
+    rows: typing.Iterable[typing.Sequence[object]],
+) -> str:
+    """Serialize rows as CSV text (RFC 4180 quoting via csv module)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but header has {len(headers)}"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()

@@ -1,0 +1,101 @@
+"""ASCII charts for the paper's figures."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.threads.graph import ParallelismProfile
+
+
+def ascii_chart(
+    series: typing.Mapping[str, typing.Sequence[typing.Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_x: bool = False,
+    y_label: str = "",
+) -> str:
+    """Plot named (x, y) series on one character grid.
+
+    Each series is drawn with its own marker (assigned in order), with a
+    legend below; used for Figures 5/6 (bars become markers per job) and
+    8-13 (relative RT vs speed x cache product, log x-axis).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    points = {
+        name: [(math.log10(x) if log_x else x, y) for x, y in pts]
+        for name, pts in series.items()
+    }
+    all_x = [x for pts in points.values() for x, _ in pts]
+    all_y = [y for pts in points.values() for _, y in pts]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for index, (name, pts) in enumerate(points.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(pad)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(pad)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(prefix + " |" + "".join(row))
+    x_axis_lo = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_axis_hi = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + "  " + x_axis_lo + " " * max(1, width - len(x_axis_lo) - len(x_axis_hi)) + x_axis_hi
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(points)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def parallelism_histogram(
+    profile: ParallelismProfile, app_name: str, width: int = 50
+) -> str:
+    """Figures 2-4: percentage of time at each parallelism level.
+
+    Also prints the total execution time and average processor demand the
+    paper reports beneath each application's graph.
+    """
+    lines = [
+        f"{app_name}: parallelism profile on {profile.n_processors} processors"
+    ]
+    max_fraction = max(profile.time_at_level.values()) if profile.time_at_level else 1.0
+    for level in sorted(profile.time_at_level):
+        fraction = profile.time_at_level[level]
+        bar = "#" * max(1, int(fraction / max_fraction * width)) if fraction > 0 else ""
+        lines.append(f"  {level:3d} | {bar} {fraction * 100:.1f}%".rstrip())
+    lines.append(f"  total execution time: {profile.execution_time:.2f} s")
+    lines.append(f"  average processor demand: {profile.average_demand:.2f}")
+    return "\n".join(lines)

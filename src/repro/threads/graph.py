@@ -1,0 +1,265 @@
+"""Thread dependence graphs.
+
+A :class:`ThreadGraph` is a DAG whose nodes are user-level threads (with a
+service demand in processor-seconds on the base machine) and whose edges
+are precedence constraints.  The graph tracks readiness incrementally so
+the simulator can ask "which threads became runnable?" in O(out-degree)
+per completion.
+
+The module also computes the *parallelism profile* shown in the paper's
+Figures 2-4: the percentage of elapsed time an application spends at each
+level of physical parallelism when run in isolation on P processors, plus
+total execution time and average processor demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing
+
+
+@dataclasses.dataclass
+class ThreadNode:
+    """One user-level thread.
+
+    Attributes:
+        tid: index within the graph.
+        service_time: processor-seconds of work at base machine speed.
+        successors: thread ids unblocked (partially) by this completion.
+        n_predecessors: static in-degree.
+        phase: optional label for grouping (e.g. GRAVITY's phase number).
+    """
+
+    tid: int
+    service_time: float
+    successors: typing.List[int] = dataclasses.field(default_factory=list)
+    n_predecessors: int = 0
+    phase: str = ""
+    #: optional tag of the data this thread operates on; threads sharing
+    #: a group benefit from running consecutively on one worker (see
+    #: :mod:`repro.threads.data_affinity`)
+    data_group: typing.Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelismProfile:
+    """Isolated-run characteristics (the content of Figures 2-4)."""
+
+    #: fraction of elapsed time at each parallelism level, level -> fraction
+    time_at_level: typing.Dict[int, float]
+    #: total elapsed execution time (seconds)
+    execution_time: float
+    #: time-averaged processor demand
+    average_demand: float
+    #: number of processors the run was profiled on
+    n_processors: int
+
+
+class ThreadGraph:
+    """A precedence DAG of user-level threads with readiness tracking."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._nodes: typing.List[ThreadNode] = []
+        self._blocked_count: typing.List[int] = []
+        self._completed: typing.List[bool] = []
+        self._n_completed = 0
+
+    def add_thread(
+        self,
+        service_time: float,
+        phase: str = "",
+        data_group: typing.Optional[int] = None,
+    ) -> int:
+        """Add a thread with ``service_time`` processor-seconds of work."""
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        tid = len(self._nodes)
+        self._nodes.append(
+            ThreadNode(
+                tid=tid,
+                service_time=service_time,
+                phase=phase,
+                data_group=data_group,
+            )
+        )
+        self._blocked_count.append(0)
+        self._completed.append(False)
+        return tid
+
+    def add_dependency(self, before: int, after: int) -> None:
+        """Require ``before`` to complete before ``after`` may start."""
+        if before == after:
+            raise ValueError("a thread cannot depend on itself")
+        self._check_tid(before)
+        self._check_tid(after)
+        self._nodes[before].successors.append(after)
+        self._nodes[after].n_predecessors += 1
+        self._blocked_count[after] += 1
+
+    def _check_tid(self, tid: int) -> None:
+        if not 0 <= tid < len(self._nodes):
+            raise IndexError(f"no such thread: {tid}")
+
+    @property
+    def n_threads(self) -> int:
+        """Total number of threads."""
+        return len(self._nodes)
+
+    @property
+    def n_completed(self) -> int:
+        """Number of threads already completed."""
+        return self._n_completed
+
+    @property
+    def all_done(self) -> bool:
+        """True once every thread has completed."""
+        return self._n_completed == len(self._nodes)
+
+    def node(self, tid: int) -> ThreadNode:
+        """The node record for thread ``tid``."""
+        self._check_tid(tid)
+        return self._nodes[tid]
+
+    def service_time(self, tid: int) -> float:
+        """Service demand of thread ``tid``."""
+        return self.node(tid).service_time
+
+    def total_work(self) -> float:
+        """Sum of all service times (processor-seconds)."""
+        return sum(node.service_time for node in self._nodes)
+
+    def initially_ready(self) -> typing.List[int]:
+        """Threads with no predecessors, in id order."""
+        return [n.tid for n in self._nodes if n.n_predecessors == 0]
+
+    def complete(self, tid: int) -> typing.List[int]:
+        """Mark ``tid`` complete; returns threads that just became ready.
+
+        Raises:
+            RuntimeError: on double completion (a simulator bug).
+        """
+        self._check_tid(tid)
+        if self._completed[tid]:
+            raise RuntimeError(f"thread {tid} completed twice")
+        self._completed[tid] = True
+        self._n_completed += 1
+        newly_ready = []
+        for succ in self._nodes[tid].successors:
+            self._blocked_count[succ] -= 1
+            if self._blocked_count[succ] == 0:
+                newly_ready.append(succ)
+        return newly_ready
+
+    def reset(self) -> None:
+        """Return the graph to its initial (nothing completed) state."""
+        self._n_completed = 0
+        for tid, node in enumerate(self._nodes):
+            self._completed[tid] = False
+            self._blocked_count[tid] = node.n_predecessors
+
+    def validate_acyclic(self) -> None:
+        """Raise ValueError if the dependence graph has a cycle."""
+        in_degree = [n.n_predecessors for n in self._nodes]
+        queue = [tid for tid, deg in enumerate(in_degree) if deg == 0]
+        seen = 0
+        while queue:
+            tid = queue.pop()
+            seen += 1
+            for succ in self._nodes[tid].successors:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    queue.append(succ)
+        if seen != len(self._nodes):
+            raise ValueError(f"dependence graph of {self.name!r} contains a cycle")
+
+    def critical_path(self) -> float:
+        """Length (seconds) of the longest dependence chain."""
+        earliest_start: typing.List[float] = [0.0] * len(self._nodes)
+        order = self._topological_order()
+        for tid in order:
+            node = self._nodes[tid]
+            end = earliest_start[tid] + node.service_time
+            for succ in node.successors:
+                if end > earliest_start[succ]:
+                    earliest_start[succ] = end
+        return max(
+            (earliest_start[tid] + self._nodes[tid].service_time for tid in order),
+            default=0.0,
+        )
+
+    def _topological_order(self) -> typing.List[int]:
+        in_degree = [n.n_predecessors for n in self._nodes]
+        queue = [tid for tid, deg in enumerate(in_degree) if deg == 0]
+        order: typing.List[int] = []
+        while queue:
+            tid = queue.pop()
+            order.append(tid)
+            for succ in self._nodes[tid].successors:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self._nodes):
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def parallelism_profile(self, n_processors: int) -> ParallelismProfile:
+        """Greedy list-schedule the graph on ``n_processors`` and profile it.
+
+        This is how the paper characterizes each application (Figures 2-4):
+        run in isolation on 16 processors and record the percentage of time
+        spent at each level of physical parallelism, the total execution
+        time, and the average processor demand.
+        """
+        if n_processors <= 0:
+            raise ValueError("need at least one processor")
+        self.reset()
+        ready = list(self.initially_ready())
+        running: typing.List[typing.Tuple[float, int]] = []  # (finish, tid)
+        now = 0.0
+        last_change = 0.0
+        time_at_level: typing.Dict[int, float] = {}
+        demand_integral = 0.0
+
+        def record(until: float) -> None:
+            nonlocal last_change, demand_integral
+            span = until - last_change
+            if span > 0:
+                level = len(running)
+                time_at_level[level] = time_at_level.get(level, 0.0) + span
+                demand_integral += level * span
+            last_change = until
+
+        while ready or running:
+            while ready and len(running) < n_processors:
+                tid = ready.pop(0)
+                heapq.heappush(running, (now + self._nodes[tid].service_time, tid))
+            if not running:
+                raise RuntimeError("deadlock: ready empty but graph not done")
+            finish = running[0][0]
+            # Record the interval up to the next completion at the level
+            # that actually ran during it, then drain every thread that
+            # finishes at that instant.
+            record(finish)
+            now = finish
+            while running and running[0][0] == now:
+                _, tid = heapq.heappop(running)
+                ready.extend(self.complete(tid))
+        self.reset()
+        total = now if now > 0 else 1.0
+        fractions = {lvl: t / total for lvl, t in time_at_level.items()}
+        return ParallelismProfile(
+            time_at_level=fractions,
+            execution_time=now,
+            average_demand=demand_integral / total,
+            n_processors=n_processors,
+        )
+
+    def max_parallelism(self) -> int:
+        """Maximum number of simultaneously runnable threads (greedy, unbounded)."""
+        profile = self.parallelism_profile(self.n_threads or 1)
+        return max(profile.time_at_level) if profile.time_at_level else 0
+
+    def __repr__(self) -> str:
+        return f"ThreadGraph({self.name!r}, threads={self.n_threads})"

@@ -1,0 +1,128 @@
+"""Worker tasks: the kernel-schedulable threads that acquire affinity.
+
+Each job runs its user-level threads on a small, fixed pool of worker
+tasks.  A worker is the unit the allocator dispatches onto processors, and
+therefore the entity that develops cache affinity ("a task has affinity
+for processors on which it has previously run").
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.threads.job import Job
+
+
+class WorkerState(enum.Enum):
+    """Lifecycle of a worker task."""
+
+    #: not dispatched, holding no thread
+    IDLE = "idle"
+    #: executing a user-level thread on a processor
+    RUNNING = "running"
+    #: preempted mid-thread; holds partially-executed work
+    SUSPENDED = "suspended"
+
+
+class WorkerTask:
+    """One kernel thread of a job.
+
+    The worker remembers the last processor it ran on (the paper's task
+    history with P = 1) and, when suspended, the thread it was executing
+    with the service time still remaining.
+    """
+
+    def __init__(self, job: "Job", index: int) -> None:
+        self.job = job
+        self.index = index
+        self.state = WorkerState.IDLE
+        self.processor: typing.Optional[int] = None
+        self.last_processor: typing.Optional[int] = None
+        #: most-recent-first window of processors this task has run on
+        #: (the paper's task history; depth consulted is policy-defined)
+        self.processor_history: typing.List[int] = []
+        #: data group of the last user-level thread this worker executed
+        #: (drives the user-level data-affinity layer)
+        self.last_data_group: typing.Optional[int] = None
+        #: most-recent-first window of data groups this worker touched
+        self.recent_data_groups: typing.List[int] = []
+        self.current_thread: typing.Optional[int] = None
+        self.remaining_service = 0.0
+        #: when the current stint on a processor began (for footprint build)
+        self.started_at = 0.0
+        #: when execution of the current thread segment began (for work accounting)
+        self.segment_start = 0.0
+        #: dispatch overhead (switch + cache reload) charged at segment start
+        self.stint_overhead = 0.0
+        #: breakdown of the charged overhead, for refunds on immediate preemption
+        self.stint_switch_charged = 0.0
+        self.stint_penalty_charged = 0.0
+        #: handle of the pending thread-completion event, owned by the system
+        self.completion_handle: typing.Optional[object] = None
+        #: lifetime dispatch statistics
+        self.dispatches = 0
+        self.affine_dispatches = 0
+
+    @property
+    def key(self) -> typing.Tuple[str, int]:
+        """Stable hashable identity: (job name, worker index)."""
+        return (self.job.name, self.index)
+
+    @property
+    def has_affinity_for(self) -> typing.Optional[int]:
+        """The single processor this task has affinity for (or None)."""
+        return self.last_processor
+
+    def affinity_within(self, processor: int, depth: int = 1) -> bool:
+        """True if ``processor`` is among the last ``depth`` this task used."""
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        return processor in self.processor_history[:depth]
+
+    def note_dispatch(self, processor: int, now: float) -> bool:
+        """Record a dispatch onto ``processor``; returns affinity hit/miss."""
+        affine = self.last_processor == processor
+        self.dispatches += 1
+        if affine:
+            self.affine_dispatches += 1
+        self.state = WorkerState.RUNNING
+        self.processor = processor
+        self.started_at = now
+        self.segment_start = now
+        return affine
+
+    def note_departure(self, now: float, suspended: bool) -> float:
+        """Record leaving the processor; returns the stint duration.
+
+        Args:
+            now: current virtual time.
+            suspended: True if the worker was preempted mid-thread (it keeps
+                ``current_thread``/``remaining_service``); False if it left
+                voluntarily with no thread in hand.
+        """
+        duration = max(0.0, now - self.started_at)
+        self.last_processor = self.processor
+        if self.processor is not None:
+            if not self.processor_history or self.processor_history[0] != self.processor:
+                self.processor_history.insert(0, self.processor)
+                del self.processor_history[8:]
+        self.processor = None
+        self.state = WorkerState.SUSPENDED if suspended else WorkerState.IDLE
+        if not suspended:
+            self.current_thread = None
+            self.remaining_service = 0.0
+        return duration
+
+    def affinity_rate(self) -> float:
+        """Fraction of dispatches that landed on the affine processor."""
+        if not self.dispatches:
+            return 0.0
+        return self.affine_dispatches / self.dispatches
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerTask({self.job.name}#{self.index}, {self.state.value}, "
+            f"cpu={self.processor}, last={self.last_processor})"
+        )

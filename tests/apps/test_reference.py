@@ -1,0 +1,166 @@
+"""Reference stream generators: locality, scaling, determinism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.reference import ReferenceGenerator, ReferenceSpec, reduced_machine
+from repro.machine.footprint import FootprintCurve, LinearFootprintCurve
+from repro.machine.params import SEQUENT_SYMMETRY
+
+
+def spec(**overrides):
+    base = dict(data_blocks=1000, p_reuse=0.9, refs_per_touch=10, reuse_window=50)
+    base.update(overrides)
+    return ReferenceSpec(**base)
+
+
+class TestValidation:
+    def test_rejects_bad_p_reuse(self):
+        with pytest.raises(ValueError):
+            spec(p_reuse=1.0)
+        with pytest.raises(ValueError):
+            spec(p_reuse=-0.1)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            spec(data_blocks=0)
+        with pytest.raises(ValueError):
+            spec(refs_per_touch=0)
+        with pytest.raises(ValueError):
+            spec(reuse_window=0)
+
+    def test_rejects_phases_without_touches(self):
+        with pytest.raises(ValueError):
+            spec(n_phases=4)
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            spec(cold_pattern="zigzag")
+
+
+class TestRates:
+    def test_touch_rate(self):
+        s = spec(refs_per_touch=10)
+        # 10 refs x 0.125 us = 1.25 us per touch -> 800k touches/s
+        assert s.touch_rate(SEQUENT_SYMMETRY) == pytest.approx(800_000)
+
+    def test_cold_pick_rate(self):
+        s = spec(refs_per_touch=10, p_reuse=0.9)
+        assert s.cold_pick_rate(SEQUENT_SYMMETRY) == pytest.approx(80_000)
+
+    def test_uniform_curve_derivation(self):
+        s = spec()
+        curve = s.footprint_curve(SEQUENT_SYMMETRY)
+        assert isinstance(curve, FootprintCurve)
+        assert curve.w_max == 1000
+        assert curve.tau == pytest.approx(1000 / s.cold_pick_rate(SEQUENT_SYMMETRY))
+
+    def test_sequential_curve_derivation(self):
+        s = spec(cold_pattern="sequential")
+        curve = s.footprint_curve(SEQUENT_SYMMETRY)
+        assert isinstance(curve, LinearFootprintCurve)
+        assert curve.hot == 50
+        assert curve.cap == 1000
+
+
+class TestReducedFidelity:
+    def test_reduced_preserves_time_quantities(self):
+        s = spec()
+        r = s.reduced(8)
+        assert r.data_blocks == 125
+        assert r.refs_per_touch == 80
+        # Cold pick rate scales down 8x (fewer, bigger blocks) ...
+        assert r.cold_pick_rate(SEQUENT_SYMMETRY) == pytest.approx(
+            s.cold_pick_rate(SEQUENT_SYMMETRY) / 8
+        )
+        # ... so the time to scan the whole data is unchanged.
+        machine = reduced_machine(SEQUENT_SYMMETRY, 8)
+        full_scan_before = s.data_blocks / s.cold_pick_rate(SEQUENT_SYMMETRY)
+        full_scan_after = r.data_blocks / r.cold_pick_rate(machine)
+        assert full_scan_after == pytest.approx(full_scan_before, rel=0.01)
+
+    def test_reduced_machine_preserves_fill_time(self):
+        machine = reduced_machine(SEQUENT_SYMMETRY, 16)
+        assert machine.full_fill_time_s == pytest.approx(
+            SEQUENT_SYMMETRY.full_fill_time_s
+        )
+        assert machine.cache_lines == SEQUENT_SYMMETRY.cache_lines // 16
+
+    def test_scale_one_is_identity(self):
+        assert reduced_machine(SEQUENT_SYMMETRY, 1) is SEQUENT_SYMMETRY
+        assert spec().reduced(1) == spec()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            spec().reduced(0)
+        with pytest.raises(ValueError):
+            reduced_machine(SEQUENT_SYMMETRY, 0)
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = ReferenceGenerator(spec(), random.Random(7))
+        b = ReferenceGenerator(spec(), random.Random(7))
+        assert [a.next_block() for _ in range(100)] == [b.next_block() for _ in range(100)]
+
+    def test_blocks_within_address_space(self):
+        gen = ReferenceGenerator(spec(), random.Random(1))
+        assert all(0 <= gen.next_block() < 1000 for _ in range(500))
+
+    def test_high_reuse_touches_few_distinct_blocks(self):
+        low = ReferenceGenerator(spec(p_reuse=0.0), random.Random(1))
+        high = ReferenceGenerator(spec(p_reuse=0.95), random.Random(1))
+        low_distinct = len({low.next_block() for _ in range(1000)})
+        high_distinct = len({high.next_block() for _ in range(1000)})
+        assert high_distinct < low_distinct / 2
+
+    def test_sequential_scan_is_in_order(self):
+        gen = ReferenceGenerator(
+            spec(p_reuse=0.0, cold_pattern="sequential"), random.Random(1)
+        )
+        assert [gen.next_block() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_sequential_scan_wraps(self):
+        gen = ReferenceGenerator(
+            spec(data_blocks=4, p_reuse=0.0, cold_pattern="sequential"),
+            random.Random(1),
+        )
+        assert [gen.next_block() for _ in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_phases_rotate_regions(self):
+        gen = ReferenceGenerator(
+            spec(data_blocks=100, n_phases=4, phase_touches=10, p_reuse=0.0),
+            random.Random(1),
+        )
+        first = [gen.next_block() for _ in range(10)]
+        second = [gen.next_block() for _ in range(10)]
+        assert all(0 <= b < 25 for b in first)
+        assert all(25 <= b < 50 for b in second)
+        assert gen.current_phase == 1
+
+    def test_reset_clears_hot_set(self):
+        gen = ReferenceGenerator(spec(p_reuse=0.99), random.Random(1))
+        for _ in range(100):
+            gen.next_block()
+        gen.reset()
+        # After reset the next touch must be a cold pick (no hot set).
+        block = gen.next_block()
+        assert 0 <= block < 1000
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p_reuse=st.floats(min_value=0.0, max_value=0.99),
+    window=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_distinct_blocks_bounded_by_data(p_reuse, window, seed):
+    gen = ReferenceGenerator(
+        spec(data_blocks=300, p_reuse=p_reuse, reuse_window=window),
+        random.Random(seed),
+    )
+    blocks = {gen.next_block() for _ in range(2000)}
+    assert all(0 <= b < 300 for b in blocks)
+    assert len(blocks) <= 300

@@ -1,0 +1,125 @@
+"""Allocation rules D.1-D.3 and A.1-A.2 in isolation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import DYN_AFF, DYN_AFF_DELAY, DYN_AFF_NOPRI, DYNAMIC, EQUIPARTITION
+from repro.core.system import SchedulingSystem
+from tests.core.helpers import chain_job, flat_job, phased_job
+
+
+class TestProcessorRecord:
+    def test_state_predicates(self):
+        from repro.core.allocator import ProcessorRecord
+
+        proc = ProcessorRecord(0)
+        assert proc.is_free and not proc.is_busy and not proc.is_held_idle
+
+
+class TestRuleD1FreeProcessors:
+    def test_free_processors_granted_first(self):
+        """A lone job's demand is met entirely from free processors."""
+        job = flat_job("J", 4, 1.0, workers=4)
+        system = SchedulingSystem([job], DYNAMIC, n_processors=8)
+        result = system.run()
+        # No other jobs: every dispatch came from the free pool.
+        assert result.jobs["J"].response_time == pytest.approx(1.0, rel=1e-2)
+
+
+class TestRuleD2WillingToYield:
+    def test_yield_window_claimable_by_other_job(self):
+        """Another job's request takes a processor out of its delay window."""
+        # A's phases leave its processors idle in yield windows; B arrives
+        # mid-window and must be able to claim them.
+        policy = dataclasses.replace(DYN_AFF_DELAY, yield_delay_s=10.0)
+        a = phased_job("A", 1, 2, 1.0, workers=2)  # finishes at ~1s, windows after
+        b = flat_job("B", 2, 1.0, workers=2)
+        system = SchedulingSystem(
+            [a, b], policy, n_processors=2, arrival_times=[0.0, 0.5]
+        )
+        result = system.run()
+        # B would wait 10s if windows were not claimable (A finishes ~1s
+        # but its job completion frees processors anyway; the real check
+        # is that B starts before any window expiry).
+        assert result.jobs["B"].response_time < 5.0
+
+    def test_own_job_reuses_window_without_reallocation(self):
+        """Work arriving within the window restarts with no dispatch cost."""
+        policy = dataclasses.replace(DYN_AFF_DELAY, yield_delay_s=5.0)
+        job = phased_job("J", 4, 2, 1.0, workers=2)
+        result = SchedulingSystem([job], policy, n_processors=2).run()
+        # 4 phases x 2 threads on the same 2 processors: only the initial
+        # 2 dispatches are reallocations; barrier restarts are free.
+        assert result.jobs["J"].n_reallocations <= 3
+
+
+class TestRuleD3Preemption:
+    def test_preemption_enforces_parity(self):
+        hog = flat_job("HOG", 16, 2.0, workers=8)
+        late = flat_job("LATE", 16, 2.0, workers=8)
+        system = SchedulingSystem(
+            [hog, late], DYNAMIC, n_processors=8, arrival_times=[0.0, 0.1]
+        )
+        result = system.run()
+        # Both jobs should end around parity-average allocations.
+        assert result.jobs["LATE"].average_allocation > 3.0
+
+    def test_nopri_never_preempts(self):
+        hog = flat_job("HOG", 16, 2.0, workers=8)
+        late = flat_job("LATE", 4, 0.5, workers=8)
+        system = SchedulingSystem(
+            [hog, late], DYN_AFF_NOPRI, n_processors=8, arrival_times=[0.0, 0.1]
+        )
+        result = system.run()
+        # Without D.3 the latecomer waits for the hog's threads to end:
+        # first processors appear when HOG's first threads finish at t=2
+        # (2 rounds of 8 x 2s threads, some workers go idle at t=4).
+        assert result.jobs["LATE"].response_time > 1.5
+
+
+class TestRuleA1LastTask:
+    def test_processor_returns_to_last_task(self):
+        """Under Dyn-Aff a phased job gets its processors back by history."""
+        a = phased_job("A", 6, 4, 0.5, workers=4)
+        b = flat_job("B", 30, 1.0, workers=8)
+        system = SchedulingSystem([a, b], DYN_AFF, n_processors=8, seed=2)
+        result = system.run()
+        assert result.jobs["A"].pct_affinity > 30.0
+
+    def test_dynamic_is_affinity_oblivious(self):
+        a = phased_job("A", 6, 4, 0.5, workers=4)
+        b = flat_job("B", 30, 1.0, workers=8)
+        system = SchedulingSystem([a, b], DYNAMIC, n_processors=8, seed=2)
+        oblivious = system.run()
+        a2 = phased_job("A", 6, 4, 0.5, workers=4)
+        b2 = flat_job("B", 30, 1.0, workers=8)
+        aware = SchedulingSystem([a2, b2], DYN_AFF, n_processors=8, seed=2).run()
+        assert aware.jobs["A"].pct_affinity > oblivious.jobs["A"].pct_affinity
+
+
+class TestEquipartitionRebalance:
+    def test_targets_respect_caps(self):
+        small = flat_job("SMALL", 4, 1.0, workers=2)
+        big = flat_job("BIG", 16, 1.0, workers=8)
+        system = SchedulingSystem([small, big], EQUIPARTITION, n_processors=8)
+        system.sim.at(0.0, lambda: None)  # force arrival processing
+        result = system.run()
+        # SMALL capped at 2 workers -> BIG gets 6.
+        assert result.jobs["BIG"].average_allocation > 5.0
+
+    def test_completion_redistributes(self):
+        quick = flat_job("QUICK", 4, 0.5, workers=4)
+        slow = flat_job("SLOW", 32, 1.0, workers=8)
+        result = SchedulingSystem([quick, slow], EQUIPARTITION, n_processors=8).run()
+        # After QUICK finishes (~0.5s), SLOW should climb toward 8.
+        assert result.jobs["SLOW"].average_allocation > 6.0
+
+    def test_no_mid_run_reallocation(self):
+        """Equipartition ignores demand changes between arrivals/departures."""
+        a = phased_job("A", 5, 2, 0.5, workers=4)
+        b = flat_job("B", 16, 1.0, workers=4)
+        result = SchedulingSystem([a, b], EQUIPARTITION, n_processors=8).run()
+        # B never receives A's idle processors while A lives -> its
+        # average allocation stays ~4 until A completes.
+        assert result.jobs["B"].n_reallocations < 20

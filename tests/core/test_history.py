@@ -1,0 +1,60 @@
+"""Processor and task histories."""
+
+import pytest
+
+from repro.core.history import ProcessorHistory, TaskHistory
+
+
+class TestBoundedHistory:
+    def test_most_recent_first(self):
+        h = TaskHistory(depth=3)
+        h.record(1)
+        h.record(2)
+        assert list(h) == [2, 1]
+        assert h.most_recent == 2
+
+    def test_depth_bounds_length(self):
+        h = TaskHistory(depth=2)
+        for cpu in (1, 2, 3, 4):
+            h.record(cpu)
+        assert list(h) == [4, 3]
+
+    def test_duplicate_head_not_repeated(self):
+        h = TaskHistory(depth=3)
+        h.record(1)
+        h.record(1)
+        assert len(h) == 1
+
+    def test_empty_history(self):
+        h = TaskHistory()
+        assert h.most_recent is None
+        assert h.last_processor is None
+        assert 5 not in h
+
+    def test_clear(self):
+        h = TaskHistory()
+        h.record(1)
+        h.clear()
+        assert len(h) == 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TaskHistory(depth=0)
+
+
+class TestPaperSemantics:
+    def test_depth_one_remembers_only_last(self):
+        """The paper uses T = P = 1."""
+        h = ProcessorHistory(depth=1)
+        h.record(("job", 0))
+        h.record(("job", 1))
+        assert h.last_task == ("job", 1)
+        assert ("job", 0) not in h
+
+    def test_task_affinity_check(self):
+        h = TaskHistory(depth=2)
+        h.record(3)
+        h.record(7)
+        assert h.has_affinity_for(3)
+        assert h.has_affinity_for(7)
+        assert not h.has_affinity_for(5)

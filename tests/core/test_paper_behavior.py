@@ -1,0 +1,109 @@
+"""Integration tests on the paper's own workload mixes.
+
+These are the paper's qualitative claims, asserted end-to-end on full
+workload runs (single seeds; the benchmark suite does the replicated
+versions).  They are the most expensive tests in the suite (~10 s).
+"""
+
+import pytest
+
+from repro.core.policies import (
+    DYN_AFF,
+    DYN_AFF_DELAY,
+    DYN_AFF_NOPRI,
+    DYNAMIC,
+    EQUIPARTITION,
+)
+from repro.measure.runner import run_mix
+
+
+@pytest.fixture(scope="module")
+def mix5_runs():
+    """Mix #5 (1 MATRIX + 1 GRAVITY) under every policy, one seed."""
+    return {
+        policy.name: run_mix(5, policy, seed=1)
+        for policy in (EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_DELAY, DYN_AFF_NOPRI)
+    }
+
+
+class TestFigure5Claims:
+    def test_dynamic_beats_equipartition_for_every_job(self, mix5_runs):
+        """'Aggressive reallocation of processors is preferable.'"""
+        equi = mix5_runs["Equipartition"]
+        for policy in ("Dynamic", "Dyn-Aff", "Dyn-Aff-Delay"):
+            for job in equi.jobs:
+                ratio = (
+                    mix5_runs[policy].jobs[job].response_time
+                    / equi.jobs[job].response_time
+                )
+                assert ratio < 1.02, f"{policy}/{job} ratio {ratio:.3f}"
+
+    def test_dynamic_variants_are_nearly_identical(self, mix5_runs):
+        """'Affinity scheduling provides little benefit under current conditions.'"""
+        for job in mix5_runs["Dynamic"].jobs:
+            base = mix5_runs["Dynamic"].jobs[job].response_time
+            for policy in ("Dyn-Aff", "Dyn-Aff-Delay"):
+                other = mix5_runs[policy].jobs[job].response_time
+                assert other == pytest.approx(base, rel=0.10)
+
+
+class TestTable3Claims:
+    def test_affinity_policies_achieve_high_affinity(self, mix5_runs):
+        """Dramatically higher %affinity under the affinity variants."""
+        for job in ("MATRIX", "GRAVITY"):
+            oblivious = mix5_runs["Dynamic"].jobs[job].pct_affinity
+            aware = mix5_runs["Dyn-Aff"].jobs[job].pct_affinity
+            assert oblivious < 35.0
+            assert aware > 40.0
+            assert aware > 2 * oblivious
+
+    def test_yield_delay_reduces_reallocations(self, mix5_runs):
+        """Dyn-Aff-Delay meets its goal of reducing #reallocations."""
+        for job in ("MATRIX", "GRAVITY"):
+            aggressive = mix5_runs["Dyn-Aff"].jobs[job].n_reallocations
+            delayed = mix5_runs["Dyn-Aff-Delay"].jobs[job].n_reallocations
+            assert delayed < 0.8 * aggressive
+
+    def test_reallocation_interval_is_hundreds_of_ms(self, mix5_runs):
+        """Row 3 of Table 3: intervals in the 200-450 ms band for Dynamic."""
+        for job in ("MATRIX", "GRAVITY"):
+            interval = mix5_runs["Dynamic"].jobs[job].reallocation_interval
+            assert 0.1 < interval < 1.0
+
+    def test_penalties_small_fraction_of_response_time(self, mix5_runs):
+        """The paper's central explanation: cache penalties are small
+        relative to response time under space sharing."""
+        for job in ("MATRIX", "GRAVITY"):
+            m = mix5_runs["Dyn-Aff"].jobs[job]
+            assert m.cache_penalty_total < 0.10 * m.response_time
+
+
+class TestFigure6Claims:
+    def test_nopri_is_erratic(self, mix5_runs):
+        """Per-job relative RTs under NoPri are extremely variable."""
+        equi = mix5_runs["Equipartition"]
+        ratios = [
+            mix5_runs["Dyn-Aff-NoPri"].jobs[job].response_time
+            / equi.jobs[job].response_time
+            for job in equi.jobs
+        ]
+        assert max(ratios) - min(ratios) > 0.3
+
+    def test_nopri_starves_the_bursty_job(self, mix5_runs):
+        """Without D.3, GRAVITY cannot reclaim processors from MATRIX."""
+        nopri = mix5_runs["Dyn-Aff-NoPri"].jobs
+        fair = mix5_runs["Dyn-Aff"].jobs
+        assert nopri["GRAVITY"].response_time > fair["GRAVITY"].response_time
+        assert nopri["MATRIX"].response_time < fair["MATRIX"].response_time
+
+
+class TestEquipartitionPerfectAffinity:
+    def test_equipartition_barely_reallocates(self, mix5_runs):
+        """'Equipartition provides perfect affinity scheduling, since
+        tasks essentially never move.'"""
+        for job, metrics in mix5_runs["Equipartition"].jobs.items():
+            assert metrics.n_reallocations < 50, job
+
+    def test_equipartition_pays_no_cache_penalty(self, mix5_runs):
+        for metrics in mix5_runs["Equipartition"].jobs.values():
+            assert metrics.cache_penalty_total < 0.1

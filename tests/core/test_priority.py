@@ -1,0 +1,112 @@
+"""The credit-based adaptive priority scheme."""
+
+import pytest
+
+from repro.core.priority import CreditScheduler
+from repro.machine.footprint import FootprintCurve
+from repro.threads.graph import ThreadGraph
+from repro.threads.job import Job
+
+
+def job(name):
+    g = ThreadGraph(name)
+    g.add_thread(1.0)
+    return Job(name, g, FootprintCurve(100, 0.1), max_workers=1)
+
+
+class TestCreditAccrual:
+    def setup_method(self):
+        self.sched = CreditScheduler(16)
+        self.a = job("A")
+        self.b = job("B")
+        self.sched.job_arrived(self.a, 0.0)
+        self.sched.job_arrived(self.b, 0.0)
+
+    def test_equal_share_divides_machine(self):
+        assert self.sched.equal_share() == pytest.approx(8.0)
+
+    def test_underuse_accrues_credit(self):
+        self.sched.set_allocation(self.a, 2, 0.0)
+        self.sched.refresh(self.a, 1.0)
+        assert self.sched.credit(self.a) == pytest.approx(6.0)
+
+    def test_overuse_drains_credit(self):
+        self.sched.set_allocation(self.a, 14, 0.0)
+        self.sched.refresh(self.a, 1.0)
+        assert self.sched.credit(self.a) == pytest.approx(-6.0)
+
+    def test_credit_capped(self):
+        self.sched.set_allocation(self.a, 0, 0.0)
+        self.sched.refresh(self.a, 100.0)
+        assert self.sched.credit(self.a) == CreditScheduler.CREDIT_CAP
+
+    def test_debt_capped(self):
+        self.sched.set_allocation(self.a, 16, 0.0)
+        self.sched.refresh(self.a, 100.0)
+        assert self.sched.credit(self.a) == -CreditScheduler.CREDIT_CAP
+
+    def test_departed_job_untracked(self):
+        self.sched.job_departed(self.b, 1.0)
+        assert self.sched.credit(self.b) == 0.0
+        assert self.sched.equal_share() == pytest.approx(16.0)
+
+    def test_priority_order_by_credit(self):
+        self.sched.set_allocation(self.a, 16, 0.0)
+        self.sched.set_allocation(self.b, 0, 0.0)
+        order = self.sched.priority_order([self.a, self.b], 1.0)
+        assert [j.name for j in order] == ["B", "A"]
+
+    def test_priority_order_ties_broken_by_name(self):
+        order = self.sched.priority_order([self.b, self.a], 0.0)
+        assert [j.name for j in order] == ["A", "B"]
+
+    def test_at_least_as_deserving_with_tolerance(self):
+        self.sched.set_allocation(self.a, 8, 0.0)
+        self.sched.set_allocation(self.b, 8, 0.0)
+        self.sched.refresh(self.a, 1.0)
+        self.sched.refresh(self.b, 1.0)
+        assert self.sched.at_least_as_deserving(self.a, [self.b])
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            self.sched.set_allocation(self.a, -1, 0.0)
+
+    def test_invalid_machine(self):
+        with pytest.raises(ValueError):
+            CreditScheduler(0)
+
+
+class TestPreemptionRules:
+    def setup_method(self):
+        self.sched = CreditScheduler(16)
+        self.a = job("A")
+        self.b = job("B")
+        self.sched.job_arrived(self.a, 0.0)
+        self.sched.job_arrived(self.b, 0.0)
+
+    def test_parity_restoration_always_allowed(self):
+        assert self.sched.may_preempt(self.a, 2, self.b, 10)
+
+    def test_no_preemption_from_single_processor_victim(self):
+        assert not self.sched.may_preempt(self.a, 0, self.b, 1)
+
+    def test_no_preemption_at_parity_without_credit(self):
+        assert not self.sched.may_preempt(self.a, 8, self.b, 8)
+
+    def test_credit_spending_goes_beyond_parity(self):
+        """A job that banked credit may take more than its fair share."""
+        self.sched.set_allocation(self.a, 0, 0.0)
+        self.sched.set_allocation(self.b, 16, 0.0)
+        self.sched.refresh(self.a, 1.0)
+        self.sched.refresh(self.b, 1.0)
+        assert self.sched.may_preempt(self.a, 8, self.b, 8)
+
+    def test_spending_margin_grows_with_excess(self):
+        """Each processor beyond parity costs more banked credit."""
+        self.sched.set_allocation(self.a, 7, 0.0)
+        self.sched.set_allocation(self.b, 9, 0.0)
+        self.sched.refresh(self.a, 1.0)
+        self.sched.refresh(self.b, 1.0)
+        # A credit ~ +1, B ~ -1: enough for 1-2 beyond parity, not 10.
+        assert self.sched.may_preempt(self.a, 8, self.b, 8)
+        assert not self.sched.may_preempt(self.a, 14, self.b, 2)

@@ -1,0 +1,66 @@
+"""Robustness at sizes beyond the paper's workloads.
+
+The paper's mixes hold 2-3 jobs on 16 processors.  These tests push the
+allocator harder — more jobs than the mixes ever had, machines smaller
+and larger than 16 processors, heavy oversubscription — and check the
+same invariants hold.
+"""
+
+import pytest
+
+from repro.core.policies import DYN_AFF, DYN_AFF_DELAY, DYNAMIC, EQUIPARTITION
+from repro.core.system import SchedulingSystem
+from repro.engine.rng import RngRegistry
+from repro.measure.workloads import WorkloadMix, make_jobs
+
+
+def run(mix, policy, n_processors=16, seed=0):
+    rng = RngRegistry(seed)
+    jobs = make_jobs(mix, rng.spawn("workload"), n_processors=n_processors)
+    return SchedulingSystem(
+        jobs, policy, n_processors=n_processors, seed=seed,
+        rng=rng.spawn(policy.name),
+    ).run()
+
+
+HEAVY_MIX = WorkloadMix(80, {"MVA": 3, "MATRIX": 2, "GRAVITY": 2}, "7 jobs")
+
+
+class TestManyJobs:
+    @pytest.mark.parametrize("policy", [EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_DELAY])
+    def test_seven_job_mix_completes(self, policy):
+        result = run(HEAVY_MIX, policy)
+        assert len(result.jobs) == 7
+        for metrics in result.jobs.values():
+            assert metrics.response_time > 0
+            assert metrics.work > 0
+
+    def test_dynamic_still_at_least_matches_equipartition(self):
+        equi = run(HEAVY_MIX, EQUIPARTITION)
+        dyn = run(HEAVY_MIX, DYN_AFF)
+        assert dyn.mean_response_time() <= 1.03 * equi.mean_response_time()
+
+    def test_fairness_under_oversubscription(self):
+        """With 7 jobs on 16 processors, no job's allocation collapses."""
+        result = run(HEAVY_MIX, DYNAMIC)
+        for name, metrics in result.jobs.items():
+            assert metrics.average_allocation > 1.0, name
+
+
+class TestMachineSizes:
+    @pytest.mark.parametrize("n_processors", [2, 4, 8, 20])
+    def test_mix5_completes_on_any_machine(self, n_processors):
+        result = run(5, DYN_AFF, n_processors=n_processors)
+        assert len(result.jobs) == 2
+
+    def test_more_processors_never_hurt(self):
+        small = run(5, DYN_AFF, n_processors=8)
+        large = run(5, DYN_AFF, n_processors=16)
+        assert large.mean_response_time() < small.mean_response_time()
+
+    def test_single_processor_degenerates_gracefully(self):
+        mix = WorkloadMix(81, {"MVA": 2})
+        result = run(mix, DYNAMIC, n_processors=1)
+        # Serial machine: makespan >= total work of both jobs.
+        total_work = sum(m.work for m in result.jobs.values())
+        assert result.makespan >= total_work

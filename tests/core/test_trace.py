@@ -1,0 +1,105 @@
+"""Allocation trace recording and Gantt rendering."""
+
+import pytest
+
+from repro.core.policies import DYNAMIC, EQUIPARTITION
+from repro.core.system import SchedulingSystem
+from repro.core.trace import AllocationTrace, Segment
+from tests.core.helpers import flat_job, phased_job
+
+
+class TestSegments:
+    def make_trace(self):
+        trace = AllocationTrace()
+        trace.record(0.0, 0, "A")
+        trace.record(5.0, 0, None)
+        trace.record(7.0, 0, "B")
+        trace.finish(10.0)
+        return trace
+
+    def test_segments_in_order(self):
+        segments = self.make_trace().segments(0)
+        assert [(s.start, s.end, s.job) for s in segments] == [
+            (0.0, 5.0, "A"),
+            (5.0, 7.0, None),
+            (7.0, 10.0, "B"),
+        ]
+
+    def test_segment_duration(self):
+        assert Segment(0, 1.0, 3.5, "A").duration == pytest.approx(2.5)
+
+    def test_owner_at(self):
+        trace = self.make_trace()
+        assert trace.owner_at(0, 2.0) == "A"
+        assert trace.owner_at(0, 6.0) is None
+        assert trace.owner_at(0, 9.9) == "B"
+
+    def test_allocation_of(self):
+        trace = AllocationTrace()
+        trace.record(0.0, 0, "A")
+        trace.record(0.0, 1, "A")
+        trace.record(0.0, 2, "B")
+        trace.finish(1.0)
+        assert trace.allocation_of("A", 0.5) == 2
+        assert trace.allocation_of("B", 0.5) == 1
+
+    def test_job_names_in_first_seen_order(self):
+        assert self.make_trace().job_names() == ["A", "B"]
+
+    def test_empty_trace_renders_placeholder(self):
+        assert AllocationTrace().render_gantt() == "(empty trace)"
+
+    def test_gantt_width_validated(self):
+        with pytest.raises(ValueError):
+            self.make_trace().render_gantt(width=5)
+
+
+class TestSystemIntegration:
+    def test_trace_records_real_run(self):
+        trace = AllocationTrace()
+        jobs = [flat_job("A", 8, 1.0, 4), flat_job("B", 8, 1.0, 4)]
+        SchedulingSystem(jobs, DYNAMIC, n_processors=4, trace=trace).run()
+        assert trace.processors() == [0, 1, 2, 3]
+        assert set(trace.job_names()) == {"A", "B"}
+        assert trace.end_time > 0
+
+    def test_gantt_shows_both_jobs(self):
+        trace = AllocationTrace()
+        jobs = [flat_job("A", 8, 1.0, 4), flat_job("B", 8, 1.0, 4)]
+        SchedulingSystem(jobs, DYNAMIC, n_processors=4, trace=trace).run()
+        chart = trace.render_gantt(width=40)
+        assert "A = A" in chart and "B = B" in chart
+        assert "cpu  0" in chart
+
+    def test_equipartition_bands_are_static(self):
+        """Under Equipartition each processor has very few owners."""
+        trace = AllocationTrace()
+        jobs = [phased_job("A", 4, 8, 0.2, 4), flat_job("B", 8, 2.0, 4)]
+        SchedulingSystem(jobs, EQUIPARTITION, n_processors=8, trace=trace).run()
+        for cpu in trace.processors():
+            owners = {s.job for s in trace.segments(cpu) if s.job}
+            assert len(owners) <= 2  # at most original owner + post-completion
+
+    def test_dynamic_churns_more_than_equipartition(self):
+        def segment_count(policy):
+            trace = AllocationTrace()
+            jobs = [phased_job("A", 6, 8, 0.2, 4), flat_job("B", 8, 2.0, 4)]
+            SchedulingSystem(jobs, policy, n_processors=8, trace=trace, seed=1).run()
+            return sum(len(trace.segments(c)) for c in trace.processors())
+
+        assert segment_count(DYNAMIC) > 2 * segment_count(EQUIPARTITION)
+
+    def test_trace_allocation_matches_metrics(self):
+        """Integrated trace allocation agrees with the system's accounting."""
+        trace = AllocationTrace()
+        jobs = [flat_job("A", 8, 1.0, 4)]
+        result = SchedulingSystem(jobs, DYNAMIC, n_processors=4, trace=trace).run()
+        # Integrate the trace's step function for job A.
+        total = sum(
+            seg.duration
+            for cpu in trace.processors()
+            for seg in trace.segments(cpu)
+            if seg.job == "A"
+        )
+        expected = result.jobs["A"].average_allocation * result.jobs["A"].response_time
+        assert total == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,37 @@
+"""Virtual clock invariants."""
+
+import pytest
+
+from repro.engine.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_allowed(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.999)
+
+    def test_reset_returns_to_start(self):
+        clock = VirtualClock()
+        clock.advance_to(100.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_repr_contains_time(self):
+        assert "3.5" in repr(VirtualClock(3.5))

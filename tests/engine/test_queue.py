@@ -1,0 +1,136 @@
+"""Event queue ordering, cancellation, and determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.events import Event
+from repro.engine.queue import EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestPushPop:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, _noop, label="c")
+        q.push(1.0, _noop, label="a")
+        q.push(2.0, _noop, label="b")
+        assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_pops_in_priority_order(self):
+        q = EventQueue()
+        q.push(1.0, _noop, priority=200, label="late")
+        q.push(1.0, _noop, priority=10, label="early")
+        assert q.pop().label == "early"
+        assert q.pop().label == "late"
+
+    def test_same_time_same_priority_is_fifo(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(5.0, _noop, label=str(i))
+        assert [q.pop().label for _ in range(10)] == [str(i) for i in range(10)]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, _noop)
+        assert q
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), _noop)
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        handle = q.push(1.0, _noop, label="cancelled")
+        q.push(2.0, _noop, label="kept")
+        handle.cancel()
+        q.note_cancelled()
+        assert q.pop().label == "kept"
+
+    def test_cancel_is_idempotent_on_handle(self):
+        q = EventQueue()
+        handle = q.push(1.0, _noop)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        handle = q.push(1.0, _noop)
+        q.push(5.0, _noop)
+        handle.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+
+class TestEventOrdering:
+    def test_sort_key_total_order(self):
+        a = Event(1.0, 100, 0, _noop)
+        b = Event(1.0, 100, 1, _noop)
+        assert a < b
+        assert not b < a
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_property_pop_order_is_sorted(items):
+    """Popping always yields (time, priority) in non-decreasing order."""
+    q = EventQueue()
+    for time, priority in items:
+        q.push(time, _noop, priority=priority)
+    popped = [q.pop() for _ in range(len(items))]
+    keys = [(e.time, e.priority) for e in popped]
+    assert keys == sorted(keys)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=2, max_size=50), st.data())
+def test_property_cancellation_preserves_rest(times, data):
+    """Cancelling any subset never perturbs the order of survivors."""
+    q = EventQueue()
+    handles = [q.push(t, _noop, label=str(i)) for i, t in enumerate(times)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times) - 1)
+    )
+    for index in to_cancel:
+        handles[index].cancel()
+        q.note_cancelled()
+    survivors = [i for i in range(len(times)) if i not in to_cancel]
+    expected = [str(i) for i in sorted(survivors, key=lambda i: (times[i], i))]
+    assert [q.pop().label for _ in range(len(survivors))] == expected

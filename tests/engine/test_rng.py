@@ -1,0 +1,50 @@
+"""Seeded random stream registry."""
+
+from repro.engine.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        registry = RngRegistry(42)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_different_names_give_different_sequences(self):
+        registry = RngRegistry(42)
+        a = [registry.stream("a").random() for _ in range(5)]
+        b = [registry.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_same_seed_reproduces_sequences(self):
+        first = [RngRegistry(7).stream("x").random() for _ in range(5)]
+        second = [RngRegistry(7).stream("x").random() for _ in range(5)]
+        # Each comprehension re-creates the registry, so compare streams.
+        a = RngRegistry(7).stream("x")
+        b = RngRegistry(7).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x")
+        b = RngRegistry(2).stream("x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_isolation(self):
+        """Drawing from one stream does not perturb another."""
+        registry = RngRegistry(0)
+        reference = RngRegistry(0)
+        registry.stream("noise").random()
+        registry.stream("noise").random()
+        assert registry.stream("signal").random() == reference.stream("signal").random()
+
+    def test_spawn_is_deterministic(self):
+        a = RngRegistry(3).spawn("rep1")
+        b = RngRegistry(3).spawn("rep1")
+        assert a.master_seed == b.master_seed
+
+    def test_spawn_differs_by_salt(self):
+        base = RngRegistry(3)
+        assert base.spawn("rep1").master_seed != base.spawn("rep2").master_seed
+
+    def test_spawn_differs_from_parent(self):
+        base = RngRegistry(3)
+        assert base.spawn("rep1").master_seed != base.master_seed

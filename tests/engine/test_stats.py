@@ -1,0 +1,159 @@
+"""Sample statistics and the replication stopping rule."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.stats import (
+    ConfidenceInterval,
+    ReplicationDriver,
+    SampleStats,
+    mean_confidence_interval,
+    t_critical_95,
+)
+
+
+class TestSampleStats:
+    def test_mean_of_known_values(self):
+        s = SampleStats()
+        s.extend([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+
+    def test_variance_matches_statistics_module(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s = SampleStats()
+        s.extend(values)
+        assert s.variance == pytest.approx(statistics.variance(values))
+
+    def test_min_max_tracking(self):
+        s = SampleStats()
+        s.extend([3.0, -1.0, 7.0])
+        assert s.minimum == -1.0
+        assert s.maximum == 7.0
+
+    def test_empty_stats(self):
+        s = SampleStats()
+        assert s.n == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value_has_zero_variance(self):
+        s = SampleStats()
+        s.add(5.0)
+        assert s.variance == 0.0
+
+    def test_ci_shrinks_with_more_samples(self):
+        small = SampleStats()
+        small.extend([1.0, 2.0, 3.0])
+        big = SampleStats()
+        big.extend([1.0, 2.0, 3.0] * 20)
+        assert big.confidence_interval().half_width < small.confidence_interval().half_width
+
+    def test_ci_of_constant_samples_is_zero_width(self):
+        s = SampleStats()
+        s.extend([4.2] * 10)
+        ci = s.confidence_interval()
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_ci_of_single_sample_is_infinite(self):
+        s = SampleStats()
+        s.add(1.0)
+        assert math.isinf(s.confidence_interval().half_width)
+
+    def test_only_95_percent_supported(self):
+        s = SampleStats()
+        s.extend([1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.confidence_interval(confidence=0.99)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+    def test_property_welford_matches_statistics(self, values):
+        s = SampleStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(statistics.fmean(values), abs=1e-6, rel=1e-9)
+        assert s.variance == pytest.approx(statistics.variance(values), abs=1e-6, rel=1e-6)
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(10) == pytest.approx(2.228)
+
+    def test_large_dof_approaches_normal(self):
+        assert t_critical_95(500) == pytest.approx(1.960)
+
+    def test_interpolates_between_table_entries(self):
+        assert 2.0 <= t_critical_95(45) <= 2.021
+
+    def test_invalid_dof(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestConfidenceInterval:
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, n=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+
+    def test_relative_half_width(self):
+        ci = ConfidenceInterval(mean=100.0, half_width=1.0, n=5)
+        assert ci.relative_half_width() == pytest.approx(0.01)
+
+    def test_relative_half_width_zero_mean(self):
+        assert math.isinf(ConfidenceInterval(0.0, 1.0).relative_half_width())
+
+    def test_helper_function(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+
+
+class TestReplicationDriver:
+    def test_stops_when_converged(self):
+        calls = []
+
+        def run_once(replication):
+            calls.append(replication)
+            return {"rt": 10.0}  # zero variance -> converges at min
+
+        driver = ReplicationDriver(run_once, min_replications=3, max_replications=50)
+        result = driver.run()
+        assert len(calls) == 3
+        assert result["rt"].mean == pytest.approx(10.0)
+
+    def test_runs_to_cap_when_noisy(self):
+        import random
+
+        rng = random.Random(0)
+        calls = []
+
+        def run_once(replication):
+            calls.append(replication)
+            return {"rt": rng.uniform(0, 1000)}
+
+        driver = ReplicationDriver(
+            run_once, target_relative=1e-6, min_replications=2, max_replications=8
+        )
+        driver.run()
+        assert len(calls) == 8
+
+    def test_all_metrics_must_converge(self):
+        values = iter([(1.0, 100.0), (1.0, 200.0), (1.0, 100.0), (1.0, 200.0),
+                       (1.0, 100.0), (1.0, 200.0)])
+
+        def run_once(replication):
+            a, b = next(values)
+            return {"stable": a, "noisy": b}
+
+        driver = ReplicationDriver(run_once, min_replications=2, max_replications=6)
+        result = driver.run()
+        assert result["stable"].n == 6  # kept running because of "noisy"
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            ReplicationDriver(lambda r: {}, min_replications=1)
+        with pytest.raises(ValueError):
+            ReplicationDriver(lambda r: {}, min_replications=5, max_replications=3)

@@ -1,0 +1,132 @@
+"""Exact MVA solver: known closed forms and limit behavior."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.mva_solver import (
+    MvaResult,
+    QueueingNetwork,
+    solve_mva,
+    wavefront_order,
+)
+
+
+class TestKnownSolutions:
+    def test_single_station_single_customer(self):
+        net = QueueingNetwork(demands=(2.0,))
+        result = solve_mva(net, 1)[-1]
+        assert result.response_time == pytest.approx(2.0)
+        assert result.throughput == pytest.approx(0.5)
+        assert result.queue_lengths[0] == pytest.approx(1.0)
+
+    def test_single_station_queue_holds_everyone(self):
+        """With one queueing station, all N customers queue there."""
+        net = QueueingNetwork(demands=(1.0,))
+        for n, result in enumerate(solve_mva(net, 10), start=1):
+            assert result.queue_lengths[0] == pytest.approx(n)
+            assert result.response_time == pytest.approx(n)
+            assert result.throughput == pytest.approx(1.0)
+
+    def test_two_balanced_stations(self):
+        """Balanced network of 2 stations, N=2: known exact MVA numbers."""
+        net = QueueingNetwork(demands=(1.0, 1.0))
+        r1, r2 = solve_mva(net, 2)
+        assert r1.response_time == pytest.approx(2.0)
+        assert r1.queue_lengths == (pytest.approx(0.5), pytest.approx(0.5))
+        # n=2: R_k = 1 * (1 + 0.5) = 1.5 each, X = 2/3, Q_k = 1.
+        assert r2.response_time == pytest.approx(3.0)
+        assert r2.throughput == pytest.approx(2 / 3)
+        assert r2.queue_lengths == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_delay_station_adds_constant_time(self):
+        think = QueueingNetwork(demands=(1.0, 5.0), delay_stations=frozenset({1}))
+        result = solve_mva(think, 1)[-1]
+        assert result.response_time == pytest.approx(6.0)
+
+    def test_bottleneck_identification(self):
+        net = QueueingNetwork(demands=(1.0, 3.0, 2.0))
+        result = solve_mva(net, 5)[-1]
+        assert result.bottleneck() == 1
+
+
+class TestLimits:
+    def test_throughput_bounded_by_bottleneck(self):
+        net = QueueingNetwork(demands=(1.0, 4.0))
+        for result in solve_mva(net, 30):
+            assert result.throughput <= 1 / 4.0 + 1e-12
+
+    def test_throughput_asymptotically_reaches_bottleneck(self):
+        net = QueueingNetwork(demands=(1.0, 4.0))
+        final = solve_mva(net, 100)[-1]
+        assert final.throughput == pytest.approx(0.25, rel=1e-3)
+
+    def test_littles_law_holds(self):
+        """N = X * R at every population (Little's law)."""
+        net = QueueingNetwork(demands=(0.5, 1.5, 1.0))
+        for n, result in enumerate(solve_mva(net, 20), start=1):
+            assert result.throughput * result.response_time == pytest.approx(n)
+
+    def test_utilization_at_most_one(self):
+        net = QueueingNetwork(demands=(2.0, 3.0))
+        for result in solve_mva(net, 50):
+            assert all(u <= 1.0 for u in result.utilizations)
+
+    def test_response_time_monotone_in_population(self):
+        net = QueueingNetwork(demands=(1.0, 2.0))
+        times = [r.response_time for r in solve_mva(net, 20)]
+        assert times == sorted(times)
+
+
+class TestValidation:
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            QueueingNetwork(demands=())
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            QueueingNetwork(demands=(1.0, -0.5))
+
+    def test_rejects_bad_delay_index(self):
+        with pytest.raises(ValueError):
+            QueueingNetwork(demands=(1.0,), delay_stations=frozenset({3}))
+
+    def test_rejects_zero_population(self):
+        with pytest.raises(ValueError):
+            solve_mva(QueueingNetwork(demands=(1.0,)), 0)
+
+
+class TestWavefront:
+    def test_wave_count(self):
+        assert len(wavefront_order(4, 3)) == 6
+
+    def test_covers_every_cell_once(self):
+        waves = wavefront_order(5, 4)
+        cells = [cell for wave in waves for cell in wave]
+        assert len(cells) == 20
+        assert len(set(cells)) == 20
+
+    def test_wave_widths_grow_then_shrink(self):
+        widths = [len(w) for w in wavefront_order(6, 6)]
+        peak = widths.index(max(widths))
+        assert widths[: peak + 1] == sorted(widths[: peak + 1])
+        assert widths[peak:] == sorted(widths[peak:], reverse=True)
+        assert max(widths) == 6
+
+    def test_cells_in_wave_share_diagonal(self):
+        for wave_index, wave in enumerate(wavefront_order(4, 5)):
+            assert all(n + k == wave_index for n, k in wave)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    demands=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=6),
+    population=st.integers(min_value=1, max_value=30),
+)
+def test_property_mva_invariants(demands, population):
+    """Little's law, bottleneck bound, and queue conservation everywhere."""
+    net = QueueingNetwork(demands=tuple(demands))
+    bottleneck = max(demands)
+    for n, result in enumerate(solve_mva(net, population), start=1):
+        assert result.throughput <= 1 / bottleneck + 1e-9
+        assert result.throughput * result.response_time == pytest.approx(n)
+        assert sum(result.queue_lengths) == pytest.approx(n)

@@ -1,0 +1,93 @@
+"""Bus contention model."""
+
+import pytest
+
+from repro.machine.bus import BusModel
+from repro.machine.params import SEQUENT_SYMMETRY
+
+
+class TestBusModel:
+    def setup_method(self):
+        self.bus = BusModel(SEQUENT_SYMMETRY)
+
+    def test_zero_load_no_inflation(self):
+        assert self.bus.contention_factor(0.0) == pytest.approx(1.0)
+        assert self.bus.effective_miss_time(0.0) == pytest.approx(
+            SEQUENT_SYMMETRY.miss_time_s
+        )
+
+    def test_inflation_grows_with_load(self):
+        light = self.bus.effective_miss_time(100_000)
+        heavy = self.bus.effective_miss_time(1_000_000)
+        assert heavy > light
+
+    def test_utilization_formula(self):
+        # 400k misses/s x 0.75us = 0.3 utilization
+        assert self.bus.utilization(400_000) == pytest.approx(0.3)
+
+    def test_utilization_clamped(self):
+        assert self.bus.utilization(1e9) == BusModel.MAX_UTILIZATION
+
+    def test_md1_waiting_time(self):
+        # At rho = 0.5, M/D/1 waiting is s * 0.5 / (2 * 0.5) = s / 2.
+        rho_half_rate = 0.5 / SEQUENT_SYMMETRY.miss_time_s
+        expected = SEQUENT_SYMMETRY.miss_time_s * 1.5
+        assert self.bus.effective_miss_time(rho_half_rate) == pytest.approx(expected)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self.bus.utilization(-1.0)
+
+
+class TestProcessorAndMachine:
+    def test_processor_touch_costs(self):
+        from repro.machine.processor import Processor
+
+        cpu = Processor(0, SEQUENT_SYMMETRY)
+        miss_cost = cpu.touch("t", 0, refs_per_touch=4)
+        hit_cost = cpu.touch("t", 0, refs_per_touch=4)
+        assert miss_cost == pytest.approx(
+            SEQUENT_SYMMETRY.miss_time_s + 3 * SEQUENT_SYMMETRY.hit_time_s
+        )
+        assert hit_cost == pytest.approx(4 * SEQUENT_SYMMETRY.hit_time_s)
+        assert cpu.busy_time == pytest.approx(miss_cost + hit_cost)
+
+    def test_processor_context_switch(self):
+        from repro.machine.processor import Processor
+
+        cpu = Processor(0, SEQUENT_SYMMETRY)
+        cost = cpu.context_switch("task")
+        assert cost == pytest.approx(750e-6)
+        assert cpu.current_task == "task"
+
+    def test_processor_rejects_bad_refs(self):
+        from repro.machine.processor import Processor
+
+        with pytest.raises(ValueError):
+            Processor(0, SEQUENT_SYMMETRY).touch("t", 0, refs_per_touch=0)
+
+    def test_multiprocessor_sizes(self):
+        from repro.machine.multiprocessor import Multiprocessor
+
+        machine = Multiprocessor(SEQUENT_SYMMETRY, n_processors=16)
+        assert len(machine) == 16
+        assert machine[3].cpu_id == 3
+
+    def test_multiprocessor_rejects_oversubscription(self):
+        from repro.machine.multiprocessor import Multiprocessor
+
+        with pytest.raises(ValueError):
+            Multiprocessor(SEQUENT_SYMMETRY, n_processors=21)
+
+    def test_aggregate_hit_rate(self):
+        from repro.machine.multiprocessor import Multiprocessor
+
+        machine = Multiprocessor(SEQUENT_SYMMETRY, n_processors=2)
+        machine[0].touch("t", 0)
+        machine[0].touch("t", 0)
+        assert machine.aggregate_hit_rate() == pytest.approx(0.5)
+
+    def test_aggregate_hit_rate_empty(self):
+        from repro.machine.multiprocessor import Multiprocessor
+
+        assert Multiprocessor(SEQUENT_SYMMETRY, 2).aggregate_hit_rate() == 0.0

@@ -1,0 +1,154 @@
+"""Set-associative cache simulator: geometry, LRU, owner accounting."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+
+
+def tiny_spec(sets: int = 4, assoc: int = 2) -> MachineSpec:
+    """A small cache whose evictions are easy to reason about."""
+    line = 16
+    return dataclasses.replace(
+        SEQUENT_SYMMETRY, cache_size_bytes=sets * assoc * line
+    )
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = SetAssociativeCache(tiny_spec())
+        assert cache.access("t", 0) is False
+
+    def test_second_access_hits(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("t", 0)
+        assert cache.access("t", 0) is True
+
+    def test_different_owners_do_not_share_lines(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("a", 0)
+        assert cache.access("b", 0) is False
+
+    def test_stats_count_hits_and_misses(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("t", 0)
+        cache.access("t", 0)
+        cache.access("t", 1)
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_contains_does_not_disturb_lru(self):
+        cache = SetAssociativeCache(tiny_spec(sets=1, assoc=2))
+        cache.access("t", 0)
+        cache.access("t", 1)
+        # Peek at 0 (LRU), then insert a conflicting block: 0 must still
+        # be the victim because contains() must not refresh recency.
+        assert cache.contains("t", 0)
+        cache.access("t", 2)
+        assert not cache.contains("t", 0)
+        assert cache.contains("t", 1)
+
+
+class TestLru:
+    def test_lru_eviction_in_one_set(self):
+        cache = SetAssociativeCache(tiny_spec(sets=1, assoc=2))
+        cache.access("t", 0)
+        cache.access("t", 1)
+        cache.access("t", 0)  # 1 becomes LRU
+        cache.access("t", 2)  # evicts 1
+        assert cache.contains("t", 0)
+        assert not cache.contains("t", 1)
+
+    def test_set_indexing_by_modulo(self):
+        cache = SetAssociativeCache(tiny_spec(sets=4, assoc=2))
+        cache.access("t", 0)
+        cache.access("t", 4)  # same set as 0
+        cache.access("t", 1)  # different set
+        assert cache.set_occupancy(0) == 2
+        assert cache.set_occupancy(1) == 1
+
+    def test_capacity_bounded_by_associativity(self):
+        cache = SetAssociativeCache(tiny_spec(sets=2, assoc=2))
+        for block in range(0, 12, 2):  # all map to set 0
+            cache.access("t", block)
+        assert cache.set_occupancy(0) == 2
+
+
+class TestFlushAndEvict:
+    def test_flush_empties_cache(self):
+        cache = SetAssociativeCache(tiny_spec())
+        for block in range(5):
+            cache.access("t", block)
+        dropped = cache.flush()
+        assert dropped == 5
+        assert cache.resident_lines() == 0
+        assert cache.footprint("t") == 0
+
+    def test_all_miss_after_flush(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("t", 0)
+        cache.flush()
+        assert cache.access("t", 0) is False
+
+    def test_evict_owner_leaves_others(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("a", 0)
+        cache.access("b", 1)
+        dropped = cache.evict_owner("a")
+        assert dropped == 1
+        assert not cache.contains("a", 0)
+        assert cache.contains("b", 1)
+        assert cache.footprint("a") == 0
+        assert cache.footprint("b") == 1
+
+
+class TestFootprint:
+    def test_footprint_counts_distinct_lines(self):
+        cache = SetAssociativeCache(tiny_spec())
+        for block in (0, 1, 2, 0, 1):
+            cache.access("t", block)
+        assert cache.footprint("t") == 3
+
+    def test_footprint_decreases_on_eviction_by_other_owner(self):
+        cache = SetAssociativeCache(tiny_spec(sets=1, assoc=2))
+        cache.access("a", 0)
+        cache.access("a", 1)
+        cache.access("b", 2)
+        cache.access("b", 3)
+        assert cache.footprint("a") == 0
+        assert cache.footprint("b") == 2
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 63)), max_size=300))
+def test_property_invariants(accesses):
+    """Occupancy, footprint and stats invariants under arbitrary access mixes."""
+    spec = tiny_spec(sets=8, assoc=2)
+    cache = SetAssociativeCache(spec)
+    for owner, block in accesses:
+        cache.access(owner, block)
+    # Per-set occupancy never exceeds associativity.
+    assert all(cache.set_occupancy(i) <= 2 for i in range(8))
+    # Footprints sum to resident lines.
+    assert cache.footprint("a") + cache.footprint("b") == cache.resident_lines()
+    # Accesses are conserved.
+    assert cache.stats.accesses == len(accesses)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+def test_property_rerun_after_flush_rebuilds_same_footprint(blocks):
+    """Replaying a single-owner trace after a flush rebuilds the identical set."""
+    cache = SetAssociativeCache(tiny_spec(sets=8, assoc=2))
+    for block in blocks:
+        cache.access("t", block)
+    before = {b for b in range(32) if cache.contains("t", b)}
+    cache.flush()
+    for block in blocks:
+        cache.access("t", block)
+    after = {b for b in range(32) if cache.contains("t", b)}
+    assert before == after

@@ -1,0 +1,139 @@
+"""Agreement between the analytic footprint model and the stateful cache.
+
+The scheduling simulations trust :class:`FootprintModel`; these tests
+cross-validate its two central approximations against the real
+set-associative simulator:
+
+1. working-set growth — the curve derived from a ``ReferenceSpec``
+   predicts the distinct-line footprint the trace actually builds;
+2. survival decay — the exponential survival law predicts how much of a
+   departed footprint an intervening task's activity leaves behind.
+"""
+
+import pytest
+
+from repro.apps.reference import ReferenceGenerator, ReferenceSpec, reduced_machine
+from repro.engine.rng import RngRegistry
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.footprint import FootprintModel
+from repro.machine.params import SEQUENT_SYMMETRY
+
+SCALE = 16
+
+
+def run_trace(cache, spec, owner, seconds, machine, rng):
+    """Drive ``owner``'s reference stream for ``seconds`` of virtual time."""
+    gen = ReferenceGenerator(spec, rng)
+    elapsed = 0.0
+    while elapsed < seconds:
+        hit = cache.access(owner, gen.next_block())
+        if hit:
+            elapsed += spec.refs_per_touch * machine.hit_time_s
+        else:
+            elapsed += machine.miss_time_s + (spec.refs_per_touch - 1) * machine.hit_time_s
+    return elapsed
+
+
+@pytest.fixture
+def machine():
+    return reduced_machine(SEQUENT_SYMMETRY, SCALE)
+
+
+@pytest.fixture
+def spec():
+    # A mid-sized uniform stream (MVA-like constants).
+    return ReferenceSpec(
+        data_blocks=3500, p_reuse=0.95, refs_per_touch=20, reuse_window=512
+    ).reduced(SCALE)
+
+
+class TestWorkingSetGrowth:
+    @pytest.mark.parametrize("seconds", [0.025, 0.1, 0.4])
+    def test_curve_predicts_footprint(self, machine, spec, seconds):
+        """Measured distinct lines within 30% of the derived curve."""
+        cache = SetAssociativeCache(machine)
+        rng = RngRegistry(1).stream("trace")
+        run_trace(cache, spec, "t", seconds, machine, rng)
+        measured = cache.footprint("t")
+        predicted = min(
+            spec.footprint_curve(machine).distinct_blocks(seconds),
+            machine.cache_lines,
+        )
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+    def test_sequential_curve_predicts_post_warmup_reload(self, machine):
+        """The linear curve models a *warmed-up* task's reload footprint.
+
+        Cold starts build only the scan component; once the hot window is
+        populated, a flushed task re-touches hot + rate x d lines in its
+        next stint — which is what the reload penalty prices.
+        """
+        seq = ReferenceSpec(
+            data_blocks=3500,
+            p_reuse=0.9875,
+            refs_per_touch=20,
+            reuse_window=1100,
+            cold_pattern="sequential",
+        ).reduced(SCALE)
+        cache = SetAssociativeCache(machine)
+        rng = RngRegistry(1).stream("trace")
+        gen = ReferenceGenerator(seq, rng)
+        # Warm up well past the window-fill time, then flush (migration).
+        elapsed = 0.0
+        while elapsed < 0.5:
+            hit = cache.access("t", gen.next_block())
+            elapsed += (
+                seq.refs_per_touch * machine.hit_time_s
+                if hit
+                else machine.miss_time_s + (seq.refs_per_touch - 1) * machine.hit_time_s
+            )
+        cache.flush()
+        elapsed = 0.0
+        while elapsed < 0.2:
+            hit = cache.access("t", gen.next_block())
+            elapsed += (
+                seq.refs_per_touch * machine.hit_time_s
+                if hit
+                else machine.miss_time_s + (seq.refs_per_touch - 1) * machine.hit_time_s
+            )
+        measured = cache.footprint("t")
+        predicted = min(
+            seq.footprint_curve(machine).distinct_blocks(0.2), machine.cache_lines
+        )
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+
+class TestSurvivalDecay:
+    def test_exponential_survival_matches_cache(self, machine, spec):
+        """Survival after an intervening task within 12 points of the model."""
+        cache = SetAssociativeCache(machine)
+        rng = RngRegistry(2)
+        run_trace(cache, spec, "victim", 0.2, machine, rng.stream("victim"))
+        footprint_before = cache.footprint("victim")
+        usage_before = cache.resident_lines()
+
+        model = FootprintModel(machine)
+        curve = spec.footprint_curve(machine)
+        model.note_run("victim", 0, 0.2, curve)
+        model.state_of("victim").footprint = float(footprint_before)
+
+        run_trace(cache, spec, "intruder", 0.2, machine, rng.stream("intruder"))
+        model.note_run("intruder", 0, 0.2, curve)
+
+        measured_fraction = cache.footprint("victim") / footprint_before
+        predicted_fraction = (
+            model.surviving_footprint("victim", 0) / footprint_before
+        )
+        del usage_before
+        assert measured_fraction == pytest.approx(predicted_fraction, abs=0.12)
+
+    def test_more_interference_means_less_survival_in_both(self, machine, spec):
+        fractions = []
+        for interference in (0.05, 0.4):
+            cache = SetAssociativeCache(machine)
+            rng = RngRegistry(3)
+            run_trace(cache, spec, "victim", 0.2, machine, rng.stream("victim"))
+            before = cache.footprint("victim")
+            run_trace(cache, spec, "intruder", interference, machine, rng.stream("x"))
+            fractions.append(cache.footprint("victim") / before)
+        assert fractions[1] < fractions[0]

@@ -1,0 +1,61 @@
+"""The paper's 1% confidence-interval replication stopping rule."""
+
+import pytest
+
+from repro.core.policies import DYNAMIC, EQUIPARTITION
+from repro.measure.runner import compare_policies_to_confidence
+from repro.measure.workloads import WorkloadMix
+
+SMALL_MIX = WorkloadMix(91, {"MVA": 1})
+
+
+class TestConfidenceStoppingRule:
+    def test_stops_when_converged(self):
+        comparison = compare_policies_to_confidence(
+            SMALL_MIX,
+            [EQUIPARTITION, DYNAMIC],
+            target_relative=0.05,  # loose: converges quickly
+            min_replications=3,
+            max_replications=20,
+        )
+        assert 3 <= comparison.n_replications <= 20
+        for policy in comparison.policies():
+            for summary in comparison.summaries[policy].values():
+                assert summary.response_time.relative_half_width() <= 0.05
+
+    def test_respects_minimum(self):
+        comparison = compare_policies_to_confidence(
+            SMALL_MIX,
+            [EQUIPARTITION],
+            target_relative=0.5,  # trivially satisfied
+            min_replications=4,
+            max_replications=20,
+        )
+        assert comparison.n_replications == 4
+
+    def test_caps_at_maximum(self):
+        comparison = compare_policies_to_confidence(
+            SMALL_MIX,
+            [DYNAMIC],
+            target_relative=1e-9,  # unreachable
+            min_replications=2,
+            max_replications=5,
+        )
+        assert comparison.n_replications == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            compare_policies_to_confidence(SMALL_MIX, [DYNAMIC], min_replications=1)
+        with pytest.raises(ValueError):
+            compare_policies_to_confidence(
+                SMALL_MIX, [DYNAMIC], min_replications=5, max_replications=3
+            )
+
+    def test_tighter_target_needs_more_replications(self):
+        loose = compare_policies_to_confidence(
+            SMALL_MIX, [DYNAMIC], target_relative=0.20, max_replications=30
+        )
+        tight = compare_policies_to_confidence(
+            SMALL_MIX, [DYNAMIC], target_relative=0.005, max_replications=30
+        )
+        assert tight.n_replications >= loose.n_replications

@@ -1,0 +1,92 @@
+"""The Section 4 penalty experiment (fast, coarse-scale versions)."""
+
+import pytest
+
+from repro.apps import GRAVITY, MATRIX, MVA
+from repro.measure.penalty import PAPER_QUANTA_S, PenaltyExperiment
+
+#: Aggressive fidelity reduction keeps these tests fast; the benchmark
+#: suite runs the calibrated scale-16 version.
+FAST_SCALE = 64
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return PenaltyExperiment(scale=FAST_SCALE, n_switches_target=15, min_run_s=0.5)
+
+
+@pytest.fixture(scope="module")
+def mva_result(experiment):
+    return experiment.measure(MVA, 0.05, partners=(MATRIX,))
+
+
+class TestRegimes:
+    def test_migrating_slower_than_stationary(self, mva_result):
+        assert mva_result.migrating.response_time > mva_result.stationary.response_time
+
+    def test_multiprog_between_stationary_and_migrating(self, mva_result):
+        multi = mva_result.multiprog["MATRIX"].response_time
+        assert mva_result.stationary.response_time < multi
+        assert multi < mva_result.migrating.response_time * 1.05
+
+    def test_switch_counts_positive(self, mva_result):
+        assert mva_result.stationary.n_switches >= 10
+        assert mva_result.migrating.n_switches >= 10
+
+    def test_hit_rate_ordering(self, mva_result):
+        """Flushing depresses the hit rate below the stationary baseline."""
+        assert mva_result.migrating.hit_rate < mva_result.stationary.hit_rate
+
+
+class TestPenalties:
+    def test_p_na_positive(self, mva_result):
+        assert mva_result.p_na_s > 0
+
+    def test_p_a_positive_and_below_p_na(self, mva_result):
+        p_a = mva_result.p_a_s("MATRIX")
+        assert 0 < p_a < mva_result.p_na_s
+
+    def test_p_na_bounded_by_full_fill(self, experiment, mva_result):
+        assert mva_result.p_na_s <= experiment.machine.full_fill_time_s * 1.2
+
+    def test_unit_conversion(self, mva_result):
+        assert mva_result.p_na_us == pytest.approx(mva_result.p_na_s * 1e6)
+
+    def test_penalty_grows_with_q(self, experiment):
+        small = experiment.measure(MVA, 0.025, partners=())
+        large = experiment.measure(MVA, 0.2, partners=())
+        assert large.p_na_s > small.p_na_s
+
+
+class TestTable1Harness:
+    def test_table_covers_apps_and_quanta(self, experiment):
+        table = experiment.table1((MVA, MATRIX), quanta=(0.025, 0.05))
+        assert table.apps() == ["MVA", "MATRIX"]
+        assert table.quanta() == [0.025, 0.05]
+        result = table.result("MVA", 0.05)
+        assert set(result.multiprog) == {"MVA", "MATRIX"}
+
+    def test_paper_quanta_constants(self):
+        assert PAPER_QUANTA_S == (0.025, 0.100, 0.400)
+
+    def test_invalid_q(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.measure(MVA, 0.0, partners=())
+
+    def test_invalid_switch_target(self):
+        with pytest.raises(ValueError):
+            PenaltyExperiment(n_switches_target=1)
+
+
+class TestScaleInvariance:
+    def test_penalties_stable_across_fidelity(self):
+        """Scale-32 and scale-64 agree on P^NA within 40%.
+
+        (The reduction preserves time quantities by construction; residual
+        differences are sampling noise in the smaller cache.)
+        """
+        coarse = PenaltyExperiment(scale=64, n_switches_target=15, min_run_s=0.5)
+        fine = PenaltyExperiment(scale=32, n_switches_target=15, min_run_s=0.5)
+        p_coarse = coarse.measure(GRAVITY, 0.05, partners=()).p_na_s
+        p_fine = fine.measure(GRAVITY, 0.05, partners=()).p_na_s
+        assert p_coarse == pytest.approx(p_fine, rel=0.4)

@@ -1,0 +1,173 @@
+"""The Figure 7 future-machine model."""
+
+import math
+
+import pytest
+
+from repro.model.future import (
+    DEFAULT_PRODUCTS,
+    FutureMachineModel,
+    RelativeSeries,
+    sweep_relative,
+)
+from repro.model.params import DEFAULT_PENALTIES, PenaltyParameters, PolicyObservation
+
+
+def obs(policy="Dynamic", pct_affinity=20.0, n_reallocations=2000.0, waste=0.0):
+    return PolicyObservation(
+        job="MATRIX",
+        app="MATRIX",
+        policy=policy,
+        work=800.0,
+        waste=waste,
+        n_reallocations=n_reallocations,
+        pct_affinity=pct_affinity,
+        average_allocation=8.0,
+    )
+
+
+@pytest.fixture
+def model():
+    return FutureMachineModel(DEFAULT_PENALTIES)
+
+
+class TestBaseline:
+    def test_unit_factors_recover_equation_one(self, model):
+        """speed = cache = 1 reduces to the base model."""
+        observation = obs()
+        rt = model.response_time(observation)
+        penalty = model.penalty_future(observation, cache_size=1.0)
+        expected = (
+            observation.work
+            + observation.waste
+            + observation.n_reallocations * (750e-6 + penalty)
+        ) / observation.average_allocation
+        assert rt == pytest.approx(expected)
+
+    def test_penalty_mixes_pa_and_pna(self, model):
+        p = DEFAULT_PENALTIES["MATRIX"]
+        penalty = model.penalty_future(obs(pct_affinity=50.0), cache_size=1.0)
+        assert penalty == pytest.approx(0.5 * p.p_a + 0.5 * p.p_na)
+
+    def test_unknown_app_rejected(self, model):
+        bad = PolicyObservation(
+            job="X", app="UNKNOWN", policy="Dynamic",
+            work=1.0, waste=0.0, n_reallocations=0.0,
+            pct_affinity=0.0, average_allocation=1.0,
+        )
+        with pytest.raises(KeyError):
+            model.response_time(bad)
+
+
+class TestScalingAssumptions:
+    def test_compute_term_scales_linearly(self, model):
+        quiet = obs(n_reallocations=0.0)
+        assert model.response_time(quiet, processor_speed=4.0) == pytest.approx(
+            model.response_time(quiet) / 4.0
+        )
+
+    def test_penalty_term_scales_as_sqrt_speed(self, model):
+        """Cache penalties shrink only as sqrt(speed): they grow in
+        relative importance on faster machines."""
+        observation = obs(n_reallocations=10000.0)
+        rt1 = model.response_time(observation, processor_speed=1.0)
+        rt100 = model.response_time(observation, processor_speed=100.0)
+        # If everything scaled linearly rt100 would be rt1/100; the sqrt
+        # term keeps it strictly above that.
+        assert rt100 > rt1 / 100.0
+
+    def test_larger_cache_helps_affinity_resumes(self, model):
+        affine = obs(pct_affinity=100.0)
+        small = model.penalty_future(affine, cache_size=1.0)
+        large = model.penalty_future(affine, cache_size=16.0)
+        assert large == pytest.approx(small / 16.0)
+
+    def test_larger_cache_hurts_no_affinity_resumes(self, model):
+        oblivious = obs(pct_affinity=0.0)
+        small = model.penalty_future(oblivious, cache_size=1.0)
+        large = model.penalty_future(oblivious, cache_size=16.0)
+        assert large == pytest.approx(small * 4.0)
+
+    def test_invalid_factors(self, model):
+        with pytest.raises(ValueError):
+            model.response_time(obs(), processor_speed=0.0)
+        with pytest.raises(ValueError):
+            model.penalty_future(obs(), cache_size=-1.0)
+
+
+class TestPaperConclusions:
+    """Section 7.3's qualitative findings, direct from the model."""
+
+    def equi_obs(self):
+        return PolicyObservation(
+            job="MATRIX", app="MATRIX", policy="Equipartition",
+            work=800.0, waste=120.0, n_reallocations=20.0,
+            pct_affinity=30.0, average_allocation=8.0,
+        )
+
+    def test_oblivious_dynamic_eventually_loses(self, model):
+        """Dynamic's curve rises and crosses 1 as machines get faster."""
+        series = sweep_relative(model, obs(pct_affinity=10.0), self.equi_obs())
+        assert series.ratios[0] < 1.0
+        assert series.ratios[-1] > 1.0
+        assert series.crossover_product() is not None
+
+    def test_affinity_pushes_crossover_out(self, model):
+        """Dyn-Aff (high %affinity) diverges later than Dynamic."""
+        oblivious = sweep_relative(model, obs(pct_affinity=10.0), self.equi_obs())
+        aware = sweep_relative(
+            model, obs(policy="Dyn-Aff", pct_affinity=95.0), self.equi_obs()
+        )
+        cross_obl = oblivious.crossover_product() or math.inf
+        cross_aware = aware.crossover_product() or math.inf
+        assert cross_aware > cross_obl
+
+    def test_fewer_reallocations_push_crossover_out(self, model):
+        """Yield-delay (fewer reallocations) diverges later still."""
+        aware = sweep_relative(
+            model, obs(policy="Dyn-Aff", pct_affinity=95.0), self.equi_obs()
+        )
+        delayed = sweep_relative(
+            model,
+            obs(policy="Dyn-Aff-Delay", pct_affinity=95.0, n_reallocations=600.0),
+            self.equi_obs(),
+        )
+        cross_aware = aware.crossover_product() or math.inf
+        cross_delayed = delayed.crossover_product() or math.inf
+        assert cross_delayed >= cross_aware
+
+    def test_ratio_monotone_along_trajectory_for_oblivious(self, model):
+        series = sweep_relative(model, obs(pct_affinity=10.0), self.equi_obs())
+        assert list(series.ratios) == sorted(series.ratios)
+
+
+class TestRelativeSeries:
+    def test_crossover_none_when_always_below_one(self):
+        series = RelativeSeries("p", "j", (1.0, 10.0), (0.8, 0.9))
+        assert series.crossover_product() is None
+
+    def test_crossover_first_product_at_or_above_one(self):
+        series = RelativeSeries("p", "j", (1.0, 10.0, 100.0), (0.8, 1.0, 1.5))
+        assert series.crossover_product() == 10.0
+
+    def test_sweep_rejects_bad_products(self, model):
+        with pytest.raises(ValueError):
+            sweep_relative(model, obs(), obs(policy="Equipartition"), products=(0.0,))
+
+    def test_default_products_span_six_decades(self):
+        assert DEFAULT_PRODUCTS[0] == 1.0
+        assert DEFAULT_PRODUCTS[-1] == pytest.approx(1e6)
+
+
+class TestPenaltyParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PenaltyParameters(p_a=-1.0, p_na=0.0)
+
+    def test_defaults_have_all_apps(self):
+        assert set(DEFAULT_PENALTIES) == {"MVA", "MATRIX", "GRAVITY"}
+
+    def test_defaults_pa_below_pna(self):
+        """Affinity resumes are always cheaper than migrations."""
+        for params in DEFAULT_PENALTIES.values():
+            assert params.p_a < params.p_na

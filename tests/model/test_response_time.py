@@ -1,0 +1,64 @@
+"""Equations (1) and (2)."""
+
+import pytest
+
+from repro.model.response_time import cache_penalty, response_time
+
+
+class TestCachePenalty:
+    def test_pure_affinity(self):
+        assert cache_penalty(100.0, 1e-3, 2e-3) == pytest.approx(1e-3)
+
+    def test_pure_no_affinity(self):
+        assert cache_penalty(0.0, 1e-3, 2e-3) == pytest.approx(2e-3)
+
+    def test_mixture(self):
+        assert cache_penalty(50.0, 1e-3, 3e-3) == pytest.approx(2e-3)
+
+    def test_higher_affinity_lower_penalty(self):
+        """When P^A < P^NA, raising %affinity lowers the penalty."""
+        penalties = [cache_penalty(pct, 1e-4, 2e-3) for pct in (0, 25, 50, 75, 100)]
+        assert penalties == sorted(penalties, reverse=True)
+
+    def test_percentage_validation(self):
+        with pytest.raises(ValueError):
+            cache_penalty(101.0, 1e-3, 1e-3)
+        with pytest.raises(ValueError):
+            cache_penalty(-1.0, 1e-3, 1e-3)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            cache_penalty(50.0, -1e-3, 1e-3)
+
+
+class TestResponseTime:
+    def test_work_only(self):
+        assert response_time(100.0, 0.0, 0, 0.0, 0.0, 10.0) == pytest.approx(10.0)
+
+    def test_full_equation(self):
+        # (100 + 20 + 1000 * (750us + 1250us)) / 8 = (120 + 2) / 8
+        rt = response_time(100.0, 20.0, 1000, 750e-6, 1250e-6, 8.0)
+        assert rt == pytest.approx(122.0 / 8.0)
+
+    def test_waste_increases_response_time(self):
+        lean = response_time(100.0, 0.0, 0, 0.0, 0.0, 8.0)
+        wasteful = response_time(100.0, 30.0, 0, 0.0, 0.0, 8.0)
+        assert wasteful > lean
+
+    def test_reallocations_increase_response_time(self):
+        few = response_time(100.0, 0.0, 10, 750e-6, 1e-3, 8.0)
+        many = response_time(100.0, 0.0, 10000, 750e-6, 1e-3, 8.0)
+        assert many > few
+
+    def test_more_processors_reduce_response_time(self):
+        narrow = response_time(100.0, 0.0, 0, 0.0, 0.0, 4.0)
+        wide = response_time(100.0, 0.0, 0, 0.0, 0.0, 16.0)
+        assert wide < narrow
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            response_time(100.0, 0.0, 0, 0.0, 0.0, 0.0)
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError):
+            response_time(-1.0, 0.0, 0, 0.0, 0.0, 8.0)

@@ -1,0 +1,112 @@
+"""Table/figure rendering and CSV export."""
+
+import pytest
+
+from repro.measure.penalty import PenaltyResult, PenaltyTable, RegimeRun
+from repro.reporting.export import rows_to_csv
+from repro.reporting.figures import ascii_chart, parallelism_histogram
+from repro.reporting.tables import format_table, render_table1, render_table4
+from repro.threads.graph import ParallelismProfile
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "a" in lines[3]
+        assert "2.5" in lines[4]
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+
+class TestRenderTable1:
+    def make_table(self):
+        def run(rt, switches):
+            return RegimeRun(response_time=rt, n_switches=switches, hit_rate=0.9)
+
+        result = PenaltyResult(
+            app="MVA",
+            q_s=0.025,
+            stationary=run(10.0, 100),
+            migrating=run(10.1, 100),
+            multiprog={"MVA": run(10.05, 100)},
+        )
+        return PenaltyTable(results={("MVA", 0.025): result}, partner_names=("MVA",))
+
+    def test_renders_us_values(self):
+        text = render_table1(self.make_table())
+        assert "Q = 25 msec." in text
+        assert "P^NA" in text
+        # (10.1 - 10.0) / 100 switches = 1 ms = 1000 us
+        assert "1000" in text
+
+    def test_penalty_properties(self):
+        table = self.make_table()
+        result = table.result("MVA", 0.025)
+        assert result.p_na_us == pytest.approx(1000.0)
+        assert result.p_a_us("MVA") == pytest.approx(500.0)
+
+
+class TestRenderTable4:
+    def test_rows_per_mix(self):
+        text = render_table4({1: {"Dyn-Aff": 12.3, "Dyn-Aff-NoPri": 12.5}})
+        assert "#1" in text
+        assert "12.3" in text and "12.5" in text
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"a": [(1, 1.0), (10, 2.0)], "b": [(1, 2.0), (10, 1.0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "* = a" in chart and "o = b" in chart
+        assert "*" in chart
+
+    def test_log_axis_labels(self):
+        chart = ascii_chart({"a": [(1, 1.0), (1e6, 2.0)]}, log_x=True)
+        assert "1e+06" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"a": [(1, 1.0), (2, 1.0)]})
+        assert "*" in chart
+
+
+class TestParallelismHistogram:
+    def test_shows_levels_and_summary(self):
+        profile = ParallelismProfile(
+            time_at_level={1: 0.25, 4: 0.75},
+            execution_time=12.5,
+            average_demand=3.25,
+            n_processors=16,
+        )
+        text = parallelism_histogram(profile, "MVA")
+        assert "MVA" in text
+        assert "25.0%" in text and "75.0%" in text
+        assert "12.50 s" in text
+        assert "3.25" in text
+
+
+class TestCsvExport:
+    def test_round_trip(self):
+        csv_text = rows_to_csv(["a", "b"], [[1, "x"], [2, "y,z"]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2] == '2,"y,z"'
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a"], [[1, 2]])

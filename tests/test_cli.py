@@ -1,0 +1,59 @@
+"""Command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_apps_defaults(self):
+        args = build_parser().parse_args(["apps"])
+        assert args.processors == 16
+        assert args.seed == 0
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "7", "apps"])
+        assert args.seed == 7
+
+    def test_fig5_mix_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--mix", "9"])
+
+    def test_table1_scale(self):
+        args = build_parser().parse_args(["table1", "--scale", "32"])
+        assert args.scale == 32
+
+
+class TestCommands:
+    def test_apps_output(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "MVA" in out and "MATRIX" in out and "GRAVITY" in out
+        assert "average processor demand" in out
+
+    def test_fig5_single_mix(self, capsys):
+        assert main(["fig5", "--mix", "1", "-r", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload #1" in out
+        assert "Dyn-Aff" in out
+
+    def test_table4_output(self, capsys):
+        assert main(["table4", "-r", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out and "#4" in out
+        assert "Dyn-Aff-NoPri" in out
+
+    def test_future_single_mix(self, capsys):
+        assert main(["future", "--mix", "1", "-r", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "processor-speed x cache-size" in out
+
+    def test_table1_fast_scale(self, capsys):
+        assert main(["table1", "--scale", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Q = 25 msec." in out
+        assert "P^NA" in out

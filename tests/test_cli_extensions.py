@@ -1,0 +1,49 @@
+"""CLI subcommands added beyond the paper's figures."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGantt:
+    def test_renders_timelines(self, capsys):
+        assert main(["gantt", "--mix", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Equipartition" in out
+        assert "cpu  0" in out
+        assert "legend:" in out
+
+    def test_mix_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gantt", "--mix", "42"])
+
+
+class TestSection8:
+    def test_prints_all_four_schedulers(self, capsys):
+        assert main(["section8", "--mix", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("TimeSharing", "TimeSharing-Aff", "Dynamic", "Dyn-Aff"):
+            assert name in out
+        assert "reallocs" in out
+
+
+class TestHierarchy:
+    def test_prints_sqrt_law_table(self, capsys):
+        assert main(["hierarchy"]) == 0
+        out = capsys.readouterr().out
+        assert "required L2 hit rate" in out
+        assert "sqrt(speed)" in out
+        # Feasibility flips within the table.
+        assert "True" in out and "False" in out
+
+
+class TestFig5Csv:
+    def test_csv_file_written(self, tmp_path, capsys):
+        target = tmp_path / "fig5.csv"
+        assert main(["fig5", "--mix", "1", "-r", "2", "--csv", str(target)]) == 0
+        content = target.read_text()
+        header = content.splitlines()[0]
+        assert header.startswith("mix,policy,job,response_time_s")
+        # 4 policies x 2 jobs = 8 data rows.
+        assert len(content.strip().splitlines()) == 9
+        assert "wrote 8 rows" in capsys.readouterr().out

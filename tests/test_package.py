@@ -1,0 +1,29 @@
+"""Top-level package surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_policies_exported(self):
+        assert repro.POLICIES["Dynamic"] is repro.DYNAMIC
+        assert repro.POLICIES["Equipartition"] is repro.EQUIPARTITION
+
+    def test_quickstart_snippet_runs(self):
+        """The README/docstring quickstart must keep working."""
+        result = repro.run_mix(1, repro.DYN_AFF, seed=1)
+        assert result.mean_response_time() > 0
+
+    def test_applications_registry(self):
+        assert set(repro.APPLICATIONS) == {"MVA", "MATRIX", "GRAVITY"}
+
+    def test_machine_constants(self):
+        assert repro.SEQUENT_SYMMETRY.n_processors == 20
+        fast = repro.future_machine(4.0, 2.0)
+        assert fast.processor_speed == 4.0
