@@ -6,14 +6,18 @@ hot paths: the event queue, the cache simulator, the footprint model, and
 a full scheduling run.  Regressions here make every experiment slower.
 """
 
-from repro.core.policies import DYN_AFF
+import os
+import time
+
+from repro.core.policies import DYN_AFF, DYNAMIC, EQUIPARTITION
 from repro.core.system import SchedulingSystem
 from repro.engine.queue import EventQueue
 from repro.engine.simulator import Simulator
 from repro.machine.cache import SetAssociativeCache
 from repro.machine.footprint import FootprintCurve, FootprintModel
 from repro.machine.params import SEQUENT_SYMMETRY
-from repro.measure.runner import run_mix
+from repro.measure.runner import compare_policies, run_mix
+from repro.measure.workloads import WorkloadMix
 from tests.core.helpers import flat_job, phased_job
 
 
@@ -91,3 +95,39 @@ def test_scheduling_run_full_mix(benchmark):
         run_mix, args=(5, DYN_AFF), kwargs={"seed": 0}, rounds=3, iterations=1
     )
     assert result.jobs
+
+
+def test_parallel_replication_speedup():
+    """Wall-clock speedup of the parallel replication runner.
+
+    Runs a multi-policy comparison serially and at 4 workers.  The results
+    must be identical (deterministic per-replication seeds, ordered
+    commits); the speedup assertion only applies on machines with >= 4
+    cores — on smaller boxes the ratio is still printed for the record.
+    """
+    mix = WorkloadMix(90, {"MVA": 1, "GRAVITY": 1})
+    policies = (EQUIPARTITION, DYNAMIC, DYN_AFF)
+    replications = 8
+
+    def timed(workers):
+        start = time.perf_counter()
+        comparison = compare_policies(
+            mix, policies, replications=replications, base_seed=0, workers=workers
+        )
+        return time.perf_counter() - start, comparison
+
+    serial_s, serial = timed(1)
+    parallel_s, parallel = timed(4)
+    for policy in serial.policies():
+        for job, expected in serial.summaries[policy].items():
+            assert parallel.summaries[policy][job].response_time.mean == \
+                expected.response_time.mean
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(
+        f"\nparallel replication runner: serial {serial_s:.2f}s, "
+        f"4 workers {parallel_s:.2f}s, speedup {speedup:.2f}x "
+        f"({os.cpu_count()} cores)"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

@@ -8,6 +8,7 @@ redo each other's simulation work.
 from __future__ import annotations
 
 import functools
+import os
 import typing
 
 import pytest
@@ -26,6 +27,12 @@ from repro.measure.runner import MixComparison, compare_policies
 #: the minutes range while the trends are far larger than the noise.
 REPLICATIONS = 3
 
+#: Worker processes used for the replication fan-out.  Parallel results are
+#: identical to serial ones (replications are seeded deterministically and
+#: committed in order), so this only changes the wall clock; set
+#: ``REPRO_BENCH_WORKERS=4`` on a multicore box to speed the suite up.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 _POLICY_SETS = {
     "dynamic": (EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_DELAY),
     "nopri": (EQUIPARTITION, DYN_AFF, DYN_AFF_NOPRI),
@@ -36,7 +43,11 @@ _POLICY_SETS = {
 def cached_comparison(mix_id: int, policy_set: str) -> MixComparison:
     """Run (once per session) a mix under a named policy set."""
     return compare_policies(
-        mix_id, _POLICY_SETS[policy_set], replications=REPLICATIONS, base_seed=0
+        mix_id,
+        _POLICY_SETS[policy_set],
+        replications=REPLICATIONS,
+        base_seed=0,
+        workers=WORKERS,
     )
 
 

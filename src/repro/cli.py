@@ -80,6 +80,7 @@ def cmd_fig5(args: argparse.Namespace) -> None:
             (EQUIPARTITION,) + _DYNAMIC_POLICIES,
             replications=args.replications,
             base_seed=args.seed,
+            workers=getattr(args, "workers", None),
         )
         print(render_relative_rt_table(comparison))
         print()
@@ -119,6 +120,7 @@ def cmd_fig6(args: argparse.Namespace) -> None:
             (EQUIPARTITION, DYN_AFF_NOPRI),
             replications=args.replications,
             base_seed=args.seed,
+            workers=getattr(args, "workers", None),
         )
         print(render_relative_rt_table(comparison))
         print()
@@ -146,6 +148,7 @@ def cmd_future(args: argparse.Namespace) -> None:
             (EQUIPARTITION,) + _DYNAMIC_POLICIES,
             replications=args.replications,
             base_seed=args.seed,
+            workers=getattr(args, "workers", None),
         )
         observations = observations_from_comparison(comparison)
         for job in comparison.job_names():
@@ -275,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
         p.add_argument("-r", "--replications", type=int, default=3)
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help=(
+                "run replications across N worker processes; results are "
+                "identical to a serial run for the same seed (default: serial)"
+            ),
+        )
         if name == "fig5":
             p.add_argument("--csv", type=str, default=None,
                            help="also write per-job metrics to this CSV file")
@@ -301,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--processors", type=int, default=16)
     p_all.add_argument("--scale", type=int, default=16)
     p_all.add_argument("--csv", type=str, default=None)
+    p_all.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the replication-based experiments",
+    )
     p_all.set_defaults(func=cmd_all)
     return parser
 

@@ -1,15 +1,24 @@
 """Discrete-event simulation core used by every experiment in this package.
 
 The engine is deliberately small and dependency free: a virtual clock, a
-cancellable binary-heap event queue, a run loop with trace hooks, seeded
-per-component random streams, and the sample statistics (mean, confidence
+cancellable binary-heap event queue with an explicit event lifecycle
+(``PENDING → FIRED | CANCELLED``), a run loop with trace hooks, seeded
+per-component random streams, the sample statistics (mean, confidence
 interval, replication driving) that the paper's methodology requires
 ("enough replications of each experiment so that the 95% confidence
-interval is within 1% of the point estimate of the mean").
+interval is within 1% of the point estimate of the mean"), and a
+process-pool replication executor that parallelizes that stopping rule
+without changing its answers.
 """
 
 from repro.engine.clock import VirtualClock
-from repro.engine.events import Event, EventHandle
+from repro.engine.events import Event, EventHandle, EventState
+from repro.engine.parallel import (
+    BatchedConvergence,
+    ConvergenceCriterion,
+    map_replications,
+    run_replications,
+)
 from repro.engine.queue import EventQueue
 from repro.engine.rng import RngRegistry
 from repro.engine.simulator import Simulator
@@ -21,14 +30,19 @@ from repro.engine.stats import (
 )
 
 __all__ = [
+    "BatchedConvergence",
     "ConfidenceInterval",
+    "ConvergenceCriterion",
     "Event",
     "EventHandle",
     "EventQueue",
+    "EventState",
     "ReplicationDriver",
     "RngRegistry",
     "SampleStats",
     "Simulator",
     "VirtualClock",
+    "map_replications",
     "mean_confidence_interval",
+    "run_replications",
 ]

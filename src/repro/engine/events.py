@@ -5,11 +5,22 @@ between events scheduled for the same instant (smaller runs first), and
 ``seq`` — a monotonically increasing sequence number assigned by the queue —
 makes the ordering total and therefore deterministic: two runs with the same
 seed schedule and pop events in exactly the same order.
+
+Every event moves through an explicit lifecycle::
+
+    PENDING ──pop──▶ FIRED
+       │
+       └──cancel──▶ CANCELLED
+
+The transitions are one-way: a fired event can never become cancelled and
+vice versa, so late ``cancel()`` calls on handles whose event already ran
+are harmless no-ops instead of corrupting the queue's live accounting.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 import typing
 
 
@@ -18,6 +29,14 @@ import typing
 #: allocator reacting *after* all thread completions at an instant) use
 #: larger values.
 DEFAULT_PRIORITY = 100
+
+
+class EventState(enum.Enum):
+    """Lifecycle state of a scheduled event."""
+
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
 
 
 @dataclasses.dataclass
@@ -30,8 +49,9 @@ class Event:
         seq: queue-assigned sequence number; makes ordering total.
         action: zero-argument callable invoked when the event fires.
         label: human-readable tag used by trace hooks and tests.
-        cancelled: set by :meth:`EventHandle.cancel`; cancelled events are
-            skipped (lazily) when popped.
+        state: lifecycle state; only the owning :class:`~repro.engine.queue.
+            EventQueue` transitions it (``PENDING → FIRED`` on pop,
+            ``PENDING → CANCELLED`` on cancellation).
     """
 
     time: float
@@ -39,7 +59,22 @@ class Event:
     seq: int
     action: typing.Callable[[], None]
     label: str = ""
-    cancelled: bool = False
+    state: EventState = EventState.PENDING
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is queued and may still fire."""
+        return self.state is EventState.PENDING
+
+    @property
+    def fired(self) -> bool:
+        """True once the event has been popped for execution."""
+        return self.state is EventState.FIRED
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled (and will never fire)."""
+        return self.state is EventState.CANCELLED
 
     def sort_key(self) -> typing.Tuple[float, int, int]:
         """Total ordering key used by the event queue."""
@@ -54,11 +89,14 @@ class EventHandle:
 
     Cancellation is *lazy*: the event stays in the heap but is skipped when
     it reaches the front.  This keeps cancellation O(1) and is the standard
-    trick for binary-heap event queues.
+    trick for binary-heap event queues.  The handle routes cancellation
+    through the queue that owns the event, so the queue's live count stays
+    exact without callers having to notify it separately.
     """
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, canceller: typing.Callable[[Event], bool]) -> None:
         self._event = event
+        self._canceller = canceller
 
     @property
     def time(self) -> float:
@@ -71,14 +109,40 @@ class EventHandle:
         return self._event.label
 
     @property
+    def state(self) -> EventState:
+        """Current lifecycle state of the underlying event."""
+        return self._event.state
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is queued and may still fire."""
+        return self._event.pending
+
+    @property
+    def fired(self) -> bool:
+        """True once the event has been executed."""
+        return self._event.fired
+
+    @property
     def cancelled(self) -> bool:
-        """True once :meth:`cancel` has been called."""
+        """True once :meth:`cancel` succeeded before the event fired."""
         return self._event.cancelled
 
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+    def cancel(self) -> bool:
+        """Prevent the event from firing, if it has not fired already.
+
+        Idempotent and safe in every state:
+
+        * ``PENDING`` — transitions to ``CANCELLED``; returns True.
+        * ``CANCELLED`` — no-op; returns False.
+        * ``FIRED`` — no-op; returns False.  (Before the lifecycle state
+          machine, cancelling a fired event silently corrupted the queue's
+          live count.)
+        """
+        return self._canceller(self._event)
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"EventHandle(t={self._event.time:.6f}, {self._event.label!r}, {state})"
+        return (
+            f"EventHandle(t={self._event.time:.6f}, {self._event.label!r}, "
+            f"{self._event.state.value})"
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 import typing
 
-from repro.engine.events import DEFAULT_PRIORITY, Event, EventHandle
+from repro.engine.events import DEFAULT_PRIORITY, Event, EventHandle, EventState
 
 
 class EventQueue:
@@ -14,6 +14,12 @@ class EventQueue:
     The queue assigns each pushed event a monotonically increasing sequence
     number so that events scheduled for the same instant and priority fire
     in scheduling order.  Cancelled events are dropped lazily on pop.
+
+    The queue is the sole owner of both the live-event count and every
+    lifecycle transition: ``push`` creates events ``PENDING``, ``pop``
+    marks them ``FIRED``, and handle cancellation routes back through
+    :meth:`_cancel` so ``len(queue)`` is exact by construction — there is
+    no external notification protocol to get wrong.
     """
 
     def __init__(self) -> None:
@@ -22,7 +28,7 @@ class EventQueue:
         self._live = 0
 
     def __len__(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
+        """Number of live (pending) events still queued."""
         return self._live
 
     def __bool__(self) -> bool:
@@ -42,10 +48,10 @@ class EventQueue:
         self._seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1
-        return EventHandle(event)
+        return EventHandle(event, self._cancel)
 
     def pop(self) -> Event:
-        """Remove and return the earliest live event.
+        """Remove and return the earliest live event, marking it ``FIRED``.
 
         Raises:
             IndexError: if the queue holds no live events.
@@ -54,6 +60,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.state = EventState.FIRED
             self._live -= 1
             return event
         raise IndexError("pop from empty EventQueue")
@@ -66,16 +73,34 @@ class EventQueue:
             return None
         return self._heap[0].time
 
-    def note_cancelled(self) -> None:
-        """Inform the queue that one queued event was cancelled externally.
+    def _cancel(self, event: Event) -> bool:
+        """Cancel ``event`` if it is still pending; returns True on success.
 
-        :class:`EventHandle` cancellation flips the event's flag but cannot
-        reach back into the queue; the simulator calls this to keep the live
-        count exact.
+        Called only through :class:`EventHandle`.  Fired or already-cancelled
+        events are left untouched, so the live count can never underflow.
         """
+        if not event.pending:
+            return False
+        event.state = EventState.CANCELLED
         self._live -= 1
+        return True
+
+    def pending_events(self) -> int:
+        """Count pending events by walking the heap (O(n); for invariants).
+
+        Always equals ``len(self)``; tests use it to assert the constant-time
+        live counter never drifts from ground truth.
+        """
+        return sum(1 for event in self._heap if event.pending)
 
     def clear(self) -> None:
-        """Drop every queued event."""
+        """Drop every queued event, cancelling pending ones.
+
+        Marking survivors ``CANCELLED`` (rather than merely forgetting them)
+        keeps any outstanding handles truthful: their events will never fire.
+        """
+        for event in self._heap:
+            if event.pending:
+                event.state = EventState.CANCELLED
         self._heap.clear()
         self._live = 0

@@ -78,15 +78,39 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: now={self.now}, time={time}")
         return self.queue.push(time, action, priority=priority, label=label)
 
-    def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously scheduled event (idempotent)."""
-        if not handle.cancelled:
-            handle.cancel()
-            self.queue.note_cancelled()
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a previously scheduled event (idempotent).
+
+        A no-op on events that already fired or were already cancelled —
+        the queue owns the lifecycle transition, so a late cancel can never
+        corrupt its live accounting.  Returns True if this call cancelled
+        the event.
+        """
+        return handle.cancel()
 
     def stop(self) -> None:
         """Request the run loop to stop after the current event."""
         self._stopped = True
+
+    def reset(self, seed: typing.Optional[int] = None) -> None:
+        """Return the simulator to a pristine state for reuse.
+
+        Cancels everything still queued, rewinds the clock to zero, and
+        zeroes the fired-event counter.  Trace hooks are kept (they are
+        observers, not simulation state).  Pass ``seed`` to also replace
+        the RNG registry; otherwise the existing registry is kept as-is.
+
+        Raises:
+            RuntimeError: if called from within a running event.
+        """
+        if self._running:
+            raise RuntimeError("cannot reset a running simulator")
+        self.queue.clear()
+        self.clock.reset()
+        self._events_fired = 0
+        self._stopped = False
+        if seed is not None:
+            self.rng = RngRegistry(seed)
 
     def run(self, until: typing.Optional[float] = None, max_events: typing.Optional[int] = None) -> float:
         """Execute events in order until exhaustion, ``until``, or ``stop()``.
@@ -107,6 +131,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired_this_run = 0
+        limited = False
         try:
             while self.queue and not self._stopped:
                 next_time = self.queue.peek_time()
@@ -123,8 +148,13 @@ class Simulator:
                     hook(event.time, event.label)
                 event.action()
                 if max_events is not None and fired_this_run >= max_events:
+                    limited = True
                     break
-            if until is not None and not self._stopped and self.now < until:
+            # Advance to `until` only when the queue truly has nothing left
+            # before it.  After a max_events or stop() break there may still
+            # be events at t <= until; jumping the clock over them would make
+            # the next run() raise "clock cannot run backwards".
+            if until is not None and not self._stopped and not limited and self.now < until:
                 self.clock.advance_to(until)
             return self.now
         finally:

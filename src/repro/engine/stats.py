@@ -89,6 +89,40 @@ class SampleStats:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "SampleStats") -> None:
+        """Fold ``other``'s observations into this accumulator in O(1).
+
+        Uses the pairwise update of Chan, Golub & LeVeque (1979), the
+        standard numerically-stable way to combine two Welford states, so
+        partial statistics computed in parallel workers can be reduced
+        without replaying the raw samples.
+        """
+        if other._n == 0:
+            return
+        if self._n == 0:
+            self._n = other._n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        n_a, n_b = self._n, other._n
+        n = n_a + n_b
+        delta = other._mean - self._mean
+        self._mean += delta * n_b / n
+        self._m2 += other._m2 + delta * delta * n_a * n_b / n
+        self._n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @classmethod
+    def merged(cls, parts: typing.Iterable["SampleStats"]) -> "SampleStats":
+        """Combine several partial accumulators into a fresh one."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
     @property
     def n(self) -> int:
         """Number of observations."""
@@ -126,7 +160,7 @@ class SampleStats:
         if confidence != 0.95:
             raise ValueError("only 95% confidence is tabulated")
         if self._n < 2:
-            return ConfidenceInterval(self._mean, math.inf if self._n < 2 else 0.0, n=self._n)
+            return ConfidenceInterval(self._mean, math.inf, n=self._n)
         half = t_critical_95(self._n - 1) * self.stddev / math.sqrt(self._n)
         return ConfidenceInterval(self._mean, half, n=self._n)
 
@@ -142,9 +176,17 @@ class ReplicationDriver:
     """Runs replications of an experiment until the paper's stopping rule.
 
     The rule: stop when the 95% confidence half-width of every tracked
-    metric's mean is within ``target_relative`` (default 1%) of the mean, or
+    metric's mean is within ``target_relative`` (default 1%) of the mean —
+    or within ``target_absolute`` in absolute terms, the escape hatch for
+    zero-mean metrics whose relative half-width is infinite — or
     ``max_replications`` is reached.  A ``min_replications`` floor avoids
     stopping on the meaningless CI of one or two samples.
+
+    With ``workers > 1``, replications execute concurrently in a process
+    pool but the stopping rule is applied to the identical replication
+    prefixes a serial run examines, so the returned intervals do not depend
+    on the worker count.  ``run_once`` must then be picklable (a
+    module-level function or a ``functools.partial`` over one).
     """
 
     def __init__(
@@ -153,30 +195,36 @@ class ReplicationDriver:
         target_relative: float = 0.01,
         min_replications: int = 3,
         max_replications: int = 50,
+        target_absolute: typing.Optional[float] = None,
+        workers: typing.Optional[int] = None,
     ) -> None:
+        from repro.engine.parallel import (
+            DEFAULT_TARGET_ABSOLUTE,
+            ConvergenceCriterion,
+            resolve_workers,
+        )
+
         if min_replications < 2:
             raise ValueError("need at least 2 replications to form an interval")
         if max_replications < min_replications:
             raise ValueError("max_replications must be >= min_replications")
         self._run_once = run_once
-        self._target = target_relative
+        self._criterion = ConvergenceCriterion(
+            target_relative,
+            DEFAULT_TARGET_ABSOLUTE if target_absolute is None else target_absolute,
+        )
         self._min = min_replications
         self._max = max_replications
+        self._workers = resolve_workers(workers)
 
     def run(self) -> typing.Dict[str, ConfidenceInterval]:
         """Execute replications; returns the CI per metric name."""
-        samples: typing.Dict[str, SampleStats] = {}
-        for replication in range(self._max):
-            metrics = self._run_once(replication)
-            for name, value in metrics.items():
-                samples.setdefault(name, SampleStats()).add(float(value))
-            if replication + 1 >= self._min and self._converged(samples):
-                break
-        return {name: stats.confidence_interval() for name, stats in samples.items()}
+        from repro.engine.parallel import BatchedConvergence, run_replications
 
-    def _converged(self, samples: typing.Mapping[str, SampleStats]) -> bool:
-        for stats in samples.values():
-            ci = stats.confidence_interval()
-            if ci.relative_half_width() > self._target:
-                return False
-        return True
+        check: BatchedConvergence = BatchedConvergence(lambda m: m, self._criterion)
+        run_replications(
+            self._run_once, self._min, self._max, check, workers=self._workers
+        )
+        return {
+            name: stats.confidence_interval() for name, stats in check.samples.items()
+        }

@@ -81,7 +81,14 @@ class SetAssociativeCache:
         self.stats.misses += 1
         if len(cache_set) >= self.associativity:
             victim, _ = cache_set.popitem(last=False)
-            self._owner_lines[victim[0]] -= 1
+            # Drop owners whose last line was evicted: long multiprogrammed
+            # runs churn through unboundedly many owner keys, and keeping
+            # zero-count entries forever grows this dict without limit.
+            remaining = self._owner_lines[victim[0]] - 1
+            if remaining:
+                self._owner_lines[victim[0]] = remaining
+            else:
+                del self._owner_lines[victim[0]]
         cache_set[tag] = None
         self._owner_lines[owner] = self._owner_lines.get(owner, 0) + 1
         return False
@@ -118,8 +125,7 @@ class SetAssociativeCache:
             for tag in victims:
                 del cache_set[tag]
                 dropped += 1
-        if dropped:
-            self._owner_lines[owner] = 0
+        self._owner_lines.pop(owner, None)
         return dropped
 
     def set_occupancy(self, index: int) -> int:

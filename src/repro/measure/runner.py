@@ -1,16 +1,34 @@
-"""Running workload mixes under policies (the Section 6 experiments)."""
+"""Running workload mixes under policies (the Section 6 experiments).
+
+Replications are independent simulations with deterministic seeds, so the
+comparison drivers fan them out across CPU cores via
+``repro.engine.parallel`` when asked (``workers=N``).  Results are always
+committed in replication order and the paper's confidence stopping rule is
+evaluated on the same prefixes a serial run examines, so worker count
+never changes the summaries — only the wall clock.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing
 
 from repro.core.policies.base import Policy
 from repro.core.system import JobMetrics, SchedulingSystem, SystemResult
+from repro.engine.parallel import (
+    BatchedConvergence,
+    ConvergenceCriterion,
+    map_replications,
+    run_replications,
+)
 from repro.engine.rng import RngRegistry
 from repro.engine.stats import ConfidenceInterval, SampleStats
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.measure.workloads import MIXES, WorkloadMix, make_jobs
+
+#: One replication's outcome: policy name -> job name -> metrics.
+ReplicationResult = typing.Dict[str, typing.Dict[str, JobMetrics]]
 
 #: Default processor count: the paper profiles and schedules on 16 of the
 #: Symmetry's 20 processors (the rest ran the OS and the allocator).
@@ -92,6 +110,58 @@ class MixComparison:
         return sum(s.response_time.mean for s in jobs.values()) / len(jobs)
 
 
+def _run_replication(
+    mix: WorkloadMix,
+    policies: typing.Tuple[Policy, ...],
+    base_seed: int,
+    n_processors: int,
+    machine: MachineSpec,
+    replication: int,
+) -> ReplicationResult:
+    """One full replication: every policy on the shared seed ``base_seed + r``.
+
+    Module-level (not a closure) so it pickles across the process boundary
+    when the comparison drivers run with ``workers > 1``.  Keeping all
+    policies of a replication in one task preserves the common-random-
+    numbers pairing *within* the worker that runs them.
+    """
+    out: ReplicationResult = {}
+    for policy in policies:
+        result = run_mix(
+            mix,
+            policy,
+            seed=base_seed + replication,
+            n_processors=n_processors,
+            machine=machine,
+        )
+        out[policy.name] = dict(result.jobs)
+    return out
+
+
+def _collect(
+    results: typing.Sequence[ReplicationResult],
+) -> typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]]:
+    """Regroup ordered replication results into policy -> job -> samples."""
+    collected: typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]] = {}
+    for result in results:
+        for policy_name, jobs in result.items():
+            per_job = collected.setdefault(policy_name, {})
+            for name, metrics in jobs.items():
+                per_job.setdefault(name, []).append(metrics)
+    return collected
+
+
+def _summaries_from(
+    results: typing.Sequence[ReplicationResult],
+) -> typing.Dict[str, typing.Dict[str, JobSummary]]:
+    return {
+        policy_name: {
+            name: _summarize(name, samples) for name, samples in jobs.items()
+        }
+        for policy_name, jobs in _collect(results).items()
+    }
+
+
 def compare_policies(
     mix: typing.Union[int, WorkloadMix],
     policies: typing.Sequence[Policy],
@@ -99,34 +169,27 @@ def compare_policies(
     base_seed: int = 0,
     n_processors: int = DEFAULT_PROCESSORS,
     machine: MachineSpec = SEQUENT_SYMMETRY,
+    workers: typing.Optional[int] = None,
 ) -> MixComparison:
     """Run ``mix`` under each policy for ``replications`` seeds.
 
     Replication ``r`` of every policy shares workload seed ``base_seed + r``
     (common random numbers), following the paper's paired comparisons
-    against Equipartition.
+    against Equipartition.  ``workers > 1`` fans the replications out over
+    a process pool; each replication is deterministic in its seed, so the
+    result is identical to a serial run.
     """
     if isinstance(mix, int):
         mix = MIXES[mix]
     if replications < 1:
         raise ValueError("need at least one replication")
-    per_policy: typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]] = {}
-    for policy in policies:
-        collected: typing.Dict[str, typing.List[JobMetrics]] = {}
-        for r in range(replications):
-            result = run_mix(
-                mix, policy, seed=base_seed + r, n_processors=n_processors, machine=machine
-            )
-            for name, metrics in result.jobs.items():
-                collected.setdefault(name, []).append(metrics)
-        per_policy[policy.name] = collected
-
-    summaries: typing.Dict[str, typing.Dict[str, JobSummary]] = {}
-    for policy_name, collected in per_policy.items():
-        summaries[policy_name] = {
-            name: _summarize(name, samples) for name, samples in collected.items()
-        }
-    return MixComparison(mix=mix, n_replications=replications, summaries=summaries)
+    run_once = functools.partial(
+        _run_replication, mix, tuple(policies), base_seed, n_processors, machine
+    )
+    results = map_replications(run_once, replications, workers=workers)
+    return MixComparison(
+        mix=mix, n_replications=replications, summaries=_summaries_from(results)
+    )
 
 
 def _summarize(name: str, samples: typing.List[JobMetrics]) -> JobSummary:
@@ -146,6 +209,15 @@ def _summarize(name: str, samples: typing.List[JobMetrics]) -> JobSummary:
     )
 
 
+def _response_times(result: ReplicationResult) -> typing.Dict[str, float]:
+    """Flatten one replication into the metrics the stopping rule tracks."""
+    return {
+        f"{policy_name}/{job_name}": metrics.response_time
+        for policy_name, jobs in result.items()
+        for job_name, metrics in jobs.items()
+    }
+
+
 def compare_policies_to_confidence(
     mix: typing.Union[int, WorkloadMix],
     policies: typing.Sequence[Policy],
@@ -155,13 +227,22 @@ def compare_policies_to_confidence(
     base_seed: int = 0,
     n_processors: int = DEFAULT_PROCESSORS,
     machine: MachineSpec = SEQUENT_SYMMETRY,
+    workers: typing.Optional[int] = None,
+    target_absolute: typing.Optional[float] = None,
 ) -> MixComparison:
     """Run replications until the paper's confidence criterion is met.
 
     Section 6: "enough replications of each experiment so that the 95%
     confidence interval is within 1% of the point estimate of the mean" —
     applied to every job's response time under every policy (with a cap
-    so pathological cases terminate; the paper does not state one).
+    so pathological cases terminate; the paper does not state one, and an
+    absolute half-width tolerance ``target_absolute`` so that a degenerate
+    zero-mean metric cannot stall convergence forever).
+
+    ``workers > 1`` runs replications concurrently in a process pool while
+    committing results in replication order and checking convergence on
+    exactly the prefixes a serial run would, so the summaries are identical
+    for the same ``base_seed`` regardless of worker count.
     """
     if isinstance(mix, int):
         mix = MIXES[mix]
@@ -169,46 +250,21 @@ def compare_policies_to_confidence(
         raise ValueError("need at least 2 replications to form an interval")
     if max_replications < min_replications:
         raise ValueError("max_replications must be >= min_replications")
-    collected: typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]] = {
-        policy.name: {} for policy in policies
-    }
-    for replication in range(max_replications):
-        for policy in policies:
-            result = run_mix(
-                mix,
-                policy,
-                seed=base_seed + replication,
-                n_processors=n_processors,
-                machine=machine,
-            )
-            for name, metrics in result.jobs.items():
-                collected[policy.name].setdefault(name, []).append(metrics)
-        if replication + 1 >= min_replications and _all_converged(
-            collected, target_relative
-        ):
-            break
-    summaries = {
-        policy_name: {
-            name: _summarize(name, samples) for name, samples in jobs.items()
-        }
-        for policy_name, jobs in collected.items()
-    }
-    n_done = len(next(iter(next(iter(collected.values())).values())))
-    return MixComparison(mix=mix, n_replications=n_done, summaries=summaries)
-
-
-def _all_converged(
-    collected: typing.Mapping[str, typing.Mapping[str, typing.List[JobMetrics]]],
-    target_relative: float,
-) -> bool:
-    for jobs in collected.values():
-        for samples in jobs.values():
-            stats = SampleStats()
-            for m in samples:
-                stats.add(m.response_time)
-            if stats.confidence_interval().relative_half_width() > target_relative:
-                return False
-    return True
+    criterion = (
+        ConvergenceCriterion(target_relative)
+        if target_absolute is None
+        else ConvergenceCriterion(target_relative, target_absolute)
+    )
+    check: BatchedConvergence = BatchedConvergence(_response_times, criterion)
+    run_once = functools.partial(
+        _run_replication, mix, tuple(policies), base_seed, n_processors, machine
+    )
+    results = run_replications(
+        run_once, min_replications, max_replications, check, workers=workers
+    )
+    return MixComparison(
+        mix=mix, n_replications=len(results), summaries=_summaries_from(results)
+    )
 
 
 def relative_response_times(

@@ -62,22 +62,35 @@ class TestCancellation:
         handle = q.push(1.0, _noop, label="cancelled")
         q.push(2.0, _noop, label="kept")
         handle.cancel()
-        q.note_cancelled()
+        assert len(q) == 1
         assert q.pop().label == "kept"
 
     def test_cancel_is_idempotent_on_handle(self):
         q = EventQueue()
         handle = q.push(1.0, _noop)
-        handle.cancel()
-        handle.cancel()
+        assert handle.cancel() is True
+        assert handle.cancel() is False
         assert handle.cancelled
+        assert len(q) == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        """Regression: cancelling a fired event used to corrupt the count."""
+        q = EventQueue()
+        handle = q.push(1.0, _noop)
+        q.push(2.0, _noop, label="still-live")
+        fired = q.pop()
+        assert fired.fired
+        assert handle.cancel() is False
+        assert not handle.cancelled
+        assert handle.fired
+        assert len(q) == 1  # the t=2.0 event must stay visible
+        assert q.pop().label == "still-live"
 
     def test_peek_time_skips_cancelled(self):
         q = EventQueue()
         handle = q.push(1.0, _noop)
         q.push(5.0, _noop)
         handle.cancel()
-        q.note_cancelled()
         assert q.peek_time() == 5.0
 
     def test_peek_time_empty_returns_none(self):
@@ -90,6 +103,14 @@ class TestCancellation:
         q.clear()
         assert len(q) == 0
         assert q.peek_time() is None
+
+    def test_clear_cancels_outstanding_handles(self):
+        q = EventQueue()
+        handle = q.push(1.0, _noop)
+        q.clear()
+        assert handle.cancelled
+        assert handle.cancel() is False  # already cancelled; count stays 0
+        assert len(q) == 0
 
 
 class TestEventOrdering:
@@ -130,7 +151,42 @@ def test_property_cancellation_preserves_rest(times, data):
     )
     for index in to_cancel:
         handles[index].cancel()
-        q.note_cancelled()
     survivors = [i for i in range(len(times)) if i not in to_cancel]
+    assert len(q) == len(survivors)
     expected = [str(i) for i in sorted(survivors, key=lambda i: (times[i], i))]
     assert [q.pop().label for _ in range(len(survivors))] == expected
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.floats(min_value=0, max_value=1000, allow_nan=False)),
+            st.tuples(st.just("pop"), st.just(0.0)),
+            st.tuples(st.just("cancel"), st.just(0.0)),
+            st.tuples(st.just("cancel_fired"), st.just(0.0)),
+        ),
+        max_size=200,
+    ),
+    st.data(),
+)
+def test_property_live_count_matches_pending(ops, data):
+    """len(queue) always equals the number of PENDING events, whatever the
+    interleaving of pushes, pops, live cancels and (no-op) stale cancels."""
+    q = EventQueue()
+    handles = []
+    for op, time in ops:
+        if op == "push":
+            handles.append(q.push(time, _noop))
+        elif op == "pop" and q:
+            q.pop()
+        elif op == "cancel" and handles:
+            index = data.draw(st.integers(min_value=0, max_value=len(handles) - 1))
+            handles[index].cancel()
+        elif op == "cancel_fired":
+            fired = [h for h in handles if h.fired]
+            if fired:
+                index = data.draw(st.integers(min_value=0, max_value=len(fired) - 1))
+                assert fired[index].cancel() is False
+        assert len(q) == q.pending_events()
+        assert bool(q) == (q.pending_events() > 0)
+    assert len(q) == q.pending_events()

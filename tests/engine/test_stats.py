@@ -76,6 +76,59 @@ class TestSampleStats:
         assert s.variance == pytest.approx(statistics.variance(values), abs=1e-6, rel=1e-6)
 
 
+class TestMerge:
+    def test_merge_empty_into_empty(self):
+        a, b = SampleStats(), SampleStats()
+        a.merge(b)
+        assert a.n == 0
+
+    def test_merge_into_empty_copies(self):
+        a, b = SampleStats(), SampleStats()
+        b.extend([1.0, 2.0, 3.0])
+        a.merge(b)
+        assert a.n == 3
+        assert a.mean == pytest.approx(2.0)
+        assert a.variance == pytest.approx(1.0)
+        assert (a.minimum, a.maximum) == (1.0, 3.0)
+
+    def test_merge_empty_is_noop(self):
+        a, b = SampleStats(), SampleStats()
+        a.extend([1.0, 2.0])
+        a.merge(b)
+        assert a.n == 2
+        assert a.mean == pytest.approx(1.5)
+
+    def test_merged_classmethod(self):
+        parts = []
+        for chunk in ([1.0, 2.0], [3.0], [4.0, 5.0, 6.0]):
+            part = SampleStats()
+            part.extend(chunk)
+            parts.append(part)
+        total = SampleStats.merged(parts)
+        assert total.n == 6
+        assert total.mean == pytest.approx(3.5)
+        assert total.variance == pytest.approx(statistics.variance([1, 2, 3, 4, 5, 6]))
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=60),
+        st.integers(min_value=0, max_value=60),
+    )
+    def test_property_merge_matches_serial_welford(self, values, cut):
+        """Chan et al. pairwise merge of any split equals one serial pass."""
+        cut = min(cut, len(values))
+        left, right = SampleStats(), SampleStats()
+        left.extend(values[:cut])
+        right.extend(values[cut:])
+        left.merge(right)
+        serial = SampleStats()
+        serial.extend(values)
+        assert left.n == serial.n
+        assert left.mean == pytest.approx(serial.mean, abs=1e-6, rel=1e-9)
+        assert left.variance == pytest.approx(serial.variance, abs=1e-6, rel=1e-6)
+        assert left.minimum == serial.minimum
+        assert left.maximum == serial.maximum
+
+
 class TestTCritical:
     def test_known_values(self):
         assert t_critical_95(1) == pytest.approx(12.706)
@@ -157,3 +210,40 @@ class TestReplicationDriver:
             ReplicationDriver(lambda r: {}, min_replications=1)
         with pytest.raises(ValueError):
             ReplicationDriver(lambda r: {}, min_replications=5, max_replications=3)
+        with pytest.raises(ValueError):
+            ReplicationDriver(lambda r: {}, workers=0)
+
+    def test_zero_mean_metric_converges_via_absolute_tolerance(self):
+        """Regression: a mean-zero metric has infinite relative half-width,
+        which used to stall convergence until max_replications every time."""
+        calls = []
+
+        def run_once(replication):
+            calls.append(replication)
+            # mean 0 with tiny float noise: relatively never converged
+            return {"delta": 1e-12 if replication % 2 else -1e-12}
+
+        driver = ReplicationDriver(run_once, min_replications=3, max_replications=50)
+        result = driver.run()
+        assert len(calls) < 50
+        assert result["delta"].mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_absolute_tolerance_can_be_tightened(self):
+        def run_once(replication):
+            return {"delta": 0.5 if replication % 2 else -0.5}  # mean ~0, real noise
+
+        driver = ReplicationDriver(
+            run_once, min_replications=3, max_replications=10, target_absolute=0.0
+        )
+        result = driver.run()
+        assert result["delta"].n == 10  # genuinely unconverged: runs to cap
+
+    def test_absolute_tolerance_escape_hatch_is_adjustable(self):
+        def run_once(replication):
+            return {"delta": 0.5 if replication % 2 else -0.5}
+
+        driver = ReplicationDriver(
+            run_once, min_replications=3, max_replications=10, target_absolute=10.0
+        )
+        result = driver.run()
+        assert result["delta"].n == 3  # wide tolerance: stops at the floor

@@ -122,6 +122,21 @@ class TestFootprint:
         assert cache.footprint("a") == 0
         assert cache.footprint("b") == 2
 
+    def test_owner_table_drops_zero_count_owners(self):
+        """Regression: owners fully evicted by others stayed in the owner
+        table forever, growing it without bound across long runs."""
+        cache = SetAssociativeCache(tiny_spec(sets=1, assoc=2))
+        for i in range(1000):
+            cache.access(f"owner-{i}", i)  # each access evicts a prior owner
+        assert len(cache._owner_lines) <= 2
+
+    def test_evict_owner_drops_owner_key(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("a", 0)
+        cache.evict_owner("a")
+        assert "a" not in cache._owner_lines
+        assert cache.footprint("a") == 0
+
 
 @settings(max_examples=50)
 @given(st.lists(st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 63)), max_size=300))

@@ -51,6 +51,37 @@ class TestConfidenceStoppingRule:
                 SMALL_MIX, [DYNAMIC], min_replications=5, max_replications=3
             )
 
+    def test_parallel_summaries_identical_to_serial(self):
+        """workers=N must not change a single number in the summaries."""
+        kwargs = dict(
+            target_relative=0.05,
+            min_replications=3,
+            max_replications=10,
+            base_seed=7,
+        )
+        serial = compare_policies_to_confidence(
+            SMALL_MIX, [EQUIPARTITION, DYNAMIC], **kwargs
+        )
+        parallel = compare_policies_to_confidence(
+            SMALL_MIX, [EQUIPARTITION, DYNAMIC], workers=2, **kwargs
+        )
+        assert parallel.n_replications == serial.n_replications
+        assert parallel.policies() == serial.policies()
+        for policy in serial.policies():
+            for job, expected in serial.summaries[policy].items():
+                got = parallel.summaries[policy][job]
+                assert got.response_time.mean == expected.response_time.mean
+                assert got.response_time.half_width == expected.response_time.half_width
+                assert got.n_reallocations == expected.n_reallocations
+                assert got.pct_affinity == expected.pct_affinity
+                assert got.work == expected.work
+                assert got.waste == expected.waste
+                assert got.average_allocation == expected.average_allocation
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            compare_policies_to_confidence(SMALL_MIX, [DYNAMIC], workers=0)
+
     def test_tighter_target_needs_more_replications(self):
         loose = compare_policies_to_confidence(
             SMALL_MIX, [DYNAMIC], target_relative=0.20, max_replications=30
