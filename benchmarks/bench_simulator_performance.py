@@ -7,15 +7,20 @@ a full scheduling run.  Regressions here make every experiment slower.
 """
 
 import os
+import random
 import time
 
+from repro.apps import APPLICATIONS
+from repro.apps.reference import ReferenceGenerator, ReferenceSpec
 from repro.core.policies import DYN_AFF, DYNAMIC, EQUIPARTITION
 from repro.core.system import SchedulingSystem
 from repro.engine.queue import EventQueue
 from repro.engine.simulator import Simulator
+from repro.machine.batching import DEFAULT_CHUNK
 from repro.machine.cache import SetAssociativeCache
 from repro.machine.footprint import FootprintCurve, FootprintModel
 from repro.machine.params import SEQUENT_SYMMETRY
+from repro.measure.penalty import PenaltyExperiment
 from repro.measure.runner import compare_policies, run_mix
 from repro.measure.workloads import WorkloadMix
 from tests.core.helpers import flat_job, phased_job
@@ -53,14 +58,72 @@ def test_simulator_event_dispatch(benchmark):
 
 
 def test_cache_simulator_throughput(benchmark):
-    """100k accesses against the full 4096-line Symmetry cache."""
+    """100k accesses against the full 4096-line Symmetry cache.
+
+    Drives the batched hot path the Section 4 regime loops use:
+    DEFAULT_CHUNK-sized ``access_batch`` calls (the per-chunk driver
+    overhead is included, pre-chunking is not — the drivers reuse their
+    chunk lists the same way).
+    """
+    cache = SetAssociativeCache(SEQUENT_SYMMETRY)
+    blocks = [(i * 7) % 6000 for i in range(100_000)]
+    chunks = [
+        blocks[i : i + DEFAULT_CHUNK] for i in range(0, len(blocks), DEFAULT_CHUNK)
+    ]
+
+    def churn():
+        access_batch = cache.access_batch
+        for chunk in chunks:
+            access_batch("t", chunk)
+
+    benchmark(churn)
+
+
+def test_cache_simulator_scalar_throughput(benchmark):
+    """The same 100k accesses through the scalar one-call-per-touch API.
+
+    Tracked alongside the batched benchmark so the speedup ratio of the
+    batch path stays visible in CI history.
+    """
     cache = SetAssociativeCache(SEQUENT_SYMMETRY)
 
     def churn():
+        access = cache.access
         for i in range(100_000):
-            cache.access("t", (i * 7) % 6000)
+            access("t", (i * 7) % 6000)
 
     benchmark(churn)
+
+
+def test_reference_generator_throughput(benchmark):
+    """100k touches from the batched reference-stream generator."""
+    gen = ReferenceGenerator(
+        ReferenceSpec(
+            data_blocks=3500, p_reuse=0.9875, refs_per_touch=20, reuse_window=1100
+        ),
+        random.Random(0),
+    )
+
+    def churn():
+        for _ in range(0, 100_000, DEFAULT_CHUNK):
+            gen.next_blocks(DEFAULT_CHUNK)
+
+    benchmark(churn)
+
+
+def test_penalty_regime_throughput(benchmark):
+    """One full-fidelity (scale=1) stationary+migrating measurement.
+
+    The end-to-end number the batching work exists for: generator, cache
+    and chunked driver together at the paper's real cache size.
+    """
+    experiment = PenaltyExperiment(scale=1, n_switches_target=5, min_run_s=0.25)
+
+    def run():
+        return experiment.measure(APPLICATIONS["MVA"], 0.05, partners=())
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.p_na_s > 0
 
 
 def test_footprint_model_throughput(benchmark):

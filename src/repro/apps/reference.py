@@ -26,7 +26,6 @@ validates.
 
 from __future__ import annotations
 
-import collections
 import dataclasses
 import random
 import typing
@@ -139,12 +138,30 @@ def reduced_machine(spec: MachineSpec, scale: int) -> MachineSpec:
 
 
 class ReferenceGenerator:
-    """Stateful generator of block touches for one task."""
+    """Stateful generator of block touches for one task.
+
+    The hot set lives in a fixed-size ring buffer rather than a deque:
+    picking a uniform member of a deque costs O(reuse_window) per touch
+    (deque indexing is linear), while the ring gives an O(1) pick and an
+    O(1) bounded append.  The element order and random-number consumption
+    match the deque formulation exactly, so streams are unchanged.
+
+    :meth:`next_blocks` is the batch entry point used by the chunked
+    Section 4 drivers: it produces a whole chunk of touches per call with
+    all hot state in locals, and is stream-equivalent to calling
+    :meth:`next_block` the same number of times (property-tested in
+    ``tests/apps/test_reference.py``).
+    """
 
     def __init__(self, spec: ReferenceSpec, rng: random.Random) -> None:
         self.spec = spec
         self._rng = rng
-        self._recent: typing.Deque[int] = collections.deque(maxlen=spec.reuse_window)
+        # Ring buffer of the last `reuse_window` appended blocks:
+        # logical order oldest..newest is buf[start], buf[start+1], ...
+        # (indices mod the window size); `length` counts the filled slots.
+        self._recent_buf: typing.List[int] = [0] * spec.reuse_window
+        self._recent_start = 0
+        self._recent_len = 0
         self._phase = 0
         self._touches_in_phase = 0
         self._region_size = spec.data_blocks // spec.n_phases
@@ -157,38 +174,88 @@ class ReferenceGenerator:
 
     def next_block(self) -> int:
         """The block index of the next touch."""
-        spec = self.spec
-        if spec.n_phases > 1:
-            self._touches_in_phase += 1
-            if self._touches_in_phase > spec.phase_touches:
-                self._advance_phase()
-        if self._recent and self._rng.random() < spec.p_reuse:
-            return self._rng.choice(self._recent)
-        if spec.cold_pattern == "sequential":
-            block = self._scan
-            self._scan += 1
-            if spec.n_phases > 1:
-                base = self._phase * self._region_size
-                if self._scan >= base + self._region_size:
-                    self._scan = base
-            elif self._scan >= spec.data_blocks:
-                self._scan = 0
-        elif spec.n_phases > 1:
-            base = self._phase * self._region_size
-            block = base + self._rng.randrange(max(1, self._region_size))
-        else:
-            block = self._rng.randrange(spec.data_blocks)
-        if not self._recent or block != self._recent[-1]:
-            self._recent.append(block)
-        return block
+        return self.next_blocks(1)[0]
 
-    def _advance_phase(self) -> None:
-        """Move to the next region and drop the hot set (new computation)."""
-        self._phase = (self._phase + 1) % self.spec.n_phases
-        self._touches_in_phase = 0
-        self._recent.clear()
-        self._scan = self._phase * self._region_size
+    def next_blocks(self, n: int) -> typing.List[int]:
+        """The block indices of the next ``n`` touches.
+
+        Stream-equivalent to ``[self.next_block() for _ in range(n)]``:
+        the same random draws produce the same blocks and leave the
+        generator in the same state, for any chunking of the stream.
+        """
+        spec = self.spec
+        rng = self._rng
+        random_ = rng.random
+        randrange = rng.randrange
+        # Random.choice(seq) is seq[rng._randbelow(len(seq))]; drawing the
+        # index directly keeps the stream identical to the deque-based
+        # formulation while the ring makes the lookup O(1).
+        randbelow = getattr(rng, "_randbelow", randrange)
+        p_reuse = spec.p_reuse
+        n_phases = spec.n_phases
+        phase_touches = spec.phase_touches
+        sequential = spec.cold_pattern == "sequential"
+        data_blocks = spec.data_blocks
+        region = self._region_size
+        region_draw = region if region >= 1 else 1
+        cap = spec.reuse_window
+        buf = self._recent_buf
+        start = self._recent_start
+        length = self._recent_len
+        phase = self._phase
+        tip = self._touches_in_phase
+        scan = self._scan
+        last = buf[(start + length - 1) % cap] if length else -1
+        out: typing.List[int] = []
+        append_out = out.append
+        for _ in range(n):
+            if n_phases > 1:
+                tip += 1
+                if tip > phase_touches:
+                    # Advance to the next region and drop the hot set
+                    # (a new computation begins).
+                    phase = (phase + 1) % n_phases
+                    tip = 0
+                    start = 0
+                    length = 0
+                    last = -1
+                    scan = phase * region
+            if length and random_() < p_reuse:
+                # Hot-set revisit: does not enter the recency window.
+                append_out(buf[(start + randbelow(length)) % cap])
+                continue
+            if sequential:
+                block = scan
+                scan += 1
+                if n_phases > 1:
+                    base = phase * region
+                    if scan >= base + region:
+                        scan = base
+                elif scan >= data_blocks:
+                    scan = 0
+            elif n_phases > 1:
+                block = phase * region + randrange(region_draw)
+            else:
+                block = randrange(data_blocks)
+            if block != last:
+                if length < cap:
+                    buf[(start + length) % cap] = block
+                    length += 1
+                else:
+                    buf[start] = block
+                    start += 1
+                    if start == cap:
+                        start = 0
+                last = block
+            append_out(block)
+        self._recent_start = start
+        self._recent_len = length
+        self._phase = phase
+        self._touches_in_phase = tip
+        self._scan = scan
+        return out
 
     def reset(self) -> None:
         """Forget the hot set (e.g. at an application phase change)."""
-        self._recent.clear()
+        self._recent_start = 0
+        self._recent_len = 0

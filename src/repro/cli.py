@@ -49,6 +49,14 @@ from repro.reporting.tables import (
 _DYNAMIC_POLICIES = (DYNAMIC, DYN_AFF, DYN_AFF_DELAY)
 
 
+def _scale_arg(value: str) -> int:
+    """Fidelity scale: a positive integer (1 = full-fidelity cache)."""
+    scale = int(value)
+    if scale < 1:
+        raise argparse.ArgumentTypeError("scale must be at least 1")
+    return scale
+
+
 def cmd_apps(args: argparse.Namespace) -> None:
     """Figures 2-4: per-application parallelism profiles."""
     rng = RngRegistry(args.seed)
@@ -265,8 +273,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_t1 = sub.add_parser("table1", help="Table 1: cache penalties")
     p_t1.add_argument(
-        "--scale", type=int, default=16,
-        help="fidelity reduction factor (1 = full cache, slow)",
+        "--scale", type=_scale_arg, default=16,
+        help="fidelity reduction factor (1 = full cache, every touch simulated)",
     )
     p_t1.set_defaults(func=cmd_table1)
 
@@ -309,7 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
     p_all.add_argument("-r", "--replications", type=int, default=3)
     p_all.add_argument("--processors", type=int, default=16)
-    p_all.add_argument("--scale", type=int, default=16)
+    p_all.add_argument("--scale", type=_scale_arg, default=16)
     p_all.add_argument("--csv", type=str, default=None)
     p_all.add_argument(
         "--workers", type=int, default=None, metavar="N",

@@ -1,0 +1,58 @@
+"""Chunk sizing for batched touch streams.
+
+The Section 4 regime drivers used to call ``Processor.touch`` once per
+touch so they could check for a rescheduling point after every access.
+The batched drivers instead process touches in chunks, which is only
+sound if no rescheduling point can fall *inside* a chunk.
+
+:func:`batch_limit` computes the largest safe chunk: given the remaining
+slice budget and the worst-case (all-miss) cost of a single touch, it
+returns the greatest ``n`` such that the first ``n - 1`` touches cannot
+exhaust the budget — so the budget can only be crossed by the chunk's
+final touch, exactly where a touch-by-touch loop would have stopped.
+The chunked drivers therefore visit the *identical* sequence of
+rescheduling points as the scalar loops they replaced — identical in
+exact arithmetic, that is.  Under floating point the aggregate
+multiply-add cost of a chunk can round differently from per-touch
+accumulation, so a slice whose budget lands exactly on a touch boundary
+may resolve one touch later; the shift never compounds because every
+slice restarts from a fresh budget
+(``tests/machine/test_batch_equivalence.py`` pins down both halves of
+this contract, and ``tests/measure/test_penalty.py`` checks the
+measured penalties end to end).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default chunk cap: bounds per-chunk list sizes (memory and latency)
+#: while keeping per-chunk Python overhead negligible.
+DEFAULT_CHUNK = 4096
+
+
+def batch_limit(
+    budget_s: float, worst_touch_cost_s: float, cap: int = DEFAULT_CHUNK
+) -> int:
+    """Largest touch count guaranteed not to cross ``budget_s`` early.
+
+    Returns ``n >= 1`` such that ``(n - 1) * worst_touch_cost_s``
+    is strictly below ``budget_s`` (an all-miss chunk can exhaust the
+    budget only on its final touch), capped at ``cap``.  With a
+    non-positive budget the caller is already at a boundary and gets 1.
+    """
+    if budget_s <= 0.0:
+        return 1
+    n = math.ceil(budget_s / worst_touch_cost_s)
+    if n < 1:
+        return 1
+    return cap if n > cap else n
+
+
+def worst_touch_cost(miss_time_s: float, hit_time_s: float, refs_per_touch: int) -> float:
+    """Cost of an all-miss touch: one fill plus the rest at hit speed.
+
+    Computed with the exact expression ``Processor.touch`` uses, so chunk
+    sizing and cost accounting can never disagree.
+    """
+    return miss_time_s + (refs_per_touch - 1) * hit_time_s

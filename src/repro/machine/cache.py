@@ -1,25 +1,57 @@
 """A stateful set-associative cache simulator with LRU replacement.
 
-The simulator works at *block* granularity: callers present block indices
-(an application's address space divided into cache-line-sized blocks) and
-the cache maps each block to a set via ``block % n_sets`` — the same
-power-of-two indexing the Symmetry's physical cache uses.
+The simulator works at *block* granularity: callers present non-negative
+block indices (an application's address space divided into
+cache-line-sized blocks) and the cache maps each block to a set via
+``block % n_sets`` — the same power-of-two indexing the Symmetry's
+physical cache uses.
 
-Lines are tagged ``(owner, block)``, where the owner identifies the task
-whose data occupies the line.  Owner tags let the Section 4 experiments ask
-"how much of task T's footprint survived the intervening task?" directly,
-which on the real machine had to be inferred from timing.
+Lines are tagged by ``(owner, block)``, where the owner identifies the
+task whose data occupies the line.  Owner tags let the Section 4
+experiments ask "how much of task T's footprint survived the intervening
+task?" directly, which on the real machine had to be inferred from timing.
+
+Hot-path design (see docs/architecture.md, "Hot path and fidelity
+scaling"):
+
+* **Batching** — :meth:`SetAssociativeCache.access_batch` processes a
+  whole chunk of block indices per call with everything hot held in
+  locals and a single stats update per chunk.  The scalar
+  :meth:`~SetAssociativeCache.access` is a one-element wrapper around
+  the same code path, so the two can never disagree.
+* **Interned owners** — owner keys (any hashable) are interned to small
+  integer ids; a line's tag is the integer ``(owner_id << 40) | block``,
+  avoiding per-access tuple allocation.  Ids are recycled once an
+  owner's last line leaves the cache, so long multiprogrammed runs that
+  churn through unboundedly many owner keys do not grow the tables.
+* **Flat per-set storage** — for the ubiquitous 2-way power-of-two
+  geometry (the Symmetry and all its fidelity reductions), each set's
+  LRU state is two parallel flat lists (``_lru[i]``, ``_mru[i]``); a
+  2-way LRU set is just a shift register, so hits and evictions are a
+  few integer compares with no container churn.  Other geometries fall
+  back to a dict-per-set representation (insertion order = LRU order).
+* **Lazy owner index** — per-owner resident-tag sets are *not*
+  maintained inside the access loop.  They are rebuilt on demand (one
+  linear pass over the cache) the next time :meth:`footprint`,
+  :meth:`owner_lines` or :meth:`evict_owner` is called, and stay valid
+  until the next miss.  Queries are rare next to accesses (once per
+  scheduling stint vs. thousands of touches), so this moves the
+  accounting cost off the critical path entirely while keeping
+  ``evict_owner`` proportional to the owner's resident lines rather
+  than a scan of every set.
 """
 
 from __future__ import annotations
 
-import collections
 import dataclasses
 import typing
 
 from repro.machine.params import MachineSpec
 
-Tag = typing.Tuple[typing.Hashable, int]
+#: Bits reserved for the block index inside an integer line tag.
+_OWNER_SHIFT = 40
+#: Sentinel for an invalid / empty way in the flat 2-way representation.
+_EMPTY = -1
 
 
 @dataclasses.dataclass
@@ -50,8 +82,8 @@ class CacheStats:
 class SetAssociativeCache:
     """An N-way set-associative cache with per-set LRU replacement.
 
-    Each set is an ``OrderedDict`` from tag to None, ordered least- to
-    most-recently used; ``move_to_end`` gives O(1) LRU maintenance.
+    Block indices must be non-negative integers below 2**40 (the tag
+    packing reserves the high bits for the interned owner id).
     """
 
     def __init__(self, spec: MachineSpec) -> None:
@@ -59,10 +91,30 @@ class SetAssociativeCache:
         self.n_sets = spec.cache_sets
         self.associativity = spec.associativity
         self.stats = CacheStats()
-        self._sets: typing.List["collections.OrderedDict[Tag, None]"] = [
-            collections.OrderedDict() for _ in range(self.n_sets)
-        ]
-        self._owner_lines: typing.Dict[typing.Hashable, int] = {}
+        n_sets = self.n_sets
+        #: the flat fast path covers 2-way caches with power-of-two sets
+        self._two_way = spec.associativity == 2 and n_sets & (n_sets - 1) == 0
+        if self._two_way:
+            self._set_mask = n_sets - 1
+            self._lru: typing.List[int] = [_EMPTY] * n_sets
+            self._mru: typing.List[int] = [_EMPTY] * n_sets
+            self._sets: typing.List[typing.Dict[int, None]] = []
+        else:
+            self._sets = [{} for _ in range(n_sets)]
+        # Owner interning: key <-> small id, with id recycling.
+        self._owner_ids: typing.Dict[typing.Hashable, int] = {}
+        self._owner_keys: typing.Dict[int, typing.Hashable] = {}
+        self._free_ids: typing.List[int] = []
+        self._next_id = 0
+        # Lazy per-owner resident-tag index (valid iff not dirty).
+        self._owner_tags: typing.Dict[int, typing.Set[int]] = {}
+        self._index_dirty = False
+        # Interned owners with zero lines accumulate only between index
+        # rebuilds; force a rebuild (which recycles their ids) if the
+        # table ever outgrows the cache itself.
+        self._owner_gc_limit = max(32, 2 * spec.cache_lines)
+
+    # -- accesses ------------------------------------------------------- #
 
     def access(self, owner: typing.Hashable, block: int) -> bool:
         """Reference ``block`` on behalf of ``owner``.
@@ -71,39 +123,122 @@ class SetAssociativeCache:
             True on a hit, False on a miss (after which the block is
             resident, possibly evicting the set's LRU line).
         """
-        index = block % self.n_sets
-        cache_set = self._sets[index]
-        tag = (owner, block)
-        if tag in cache_set:
-            cache_set.move_to_end(tag)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        if len(cache_set) >= self.associativity:
-            victim, _ = cache_set.popitem(last=False)
-            # Drop owners whose last line was evicted: long multiprogrammed
-            # runs churn through unboundedly many owner keys, and keeping
-            # zero-count entries forever grows this dict without limit.
-            remaining = self._owner_lines[victim[0]] - 1
-            if remaining:
-                self._owner_lines[victim[0]] = remaining
-            else:
-                del self._owner_lines[victim[0]]
-        cache_set[tag] = None
-        self._owner_lines[owner] = self._owner_lines.get(owner, 0) + 1
-        return False
+        if block < 0:
+            raise ValueError("block indices must be non-negative")
+        return self.access_batch(owner, (block,)) == 1
+
+    def access_batch(
+        self, owner: typing.Hashable, blocks: typing.Sequence[int]
+    ) -> int:
+        """Reference every block in ``blocks`` in order for ``owner``.
+
+        Semantically identical to calling :meth:`access` once per block;
+        counters are updated once per call rather than once per access.
+
+        Returns:
+            The number of hits (misses are ``len(blocks) - hits``).
+        """
+        oid = self._owner_ids.get(owner)
+        if oid is None:
+            oid = self._intern(owner)
+        base = oid << _OWNER_SHIFT
+        hits = 0
+        if self._two_way:
+            lru = self._lru
+            mru = self._mru
+            mask = self._set_mask
+            # A 2-way LRU set is a shift register: a fresh tag pushes the
+            # MRU down to LRU and drops the old LRU (which is _EMPTY while
+            # the set is filling, so cold fills need no special case).
+            for block in blocks:
+                i = block & mask
+                tag = base + block
+                m = mru[i]
+                if m == tag:
+                    hits += 1
+                    continue
+                l = lru[i]
+                if l == tag:
+                    lru[i] = m
+                    mru[i] = tag
+                    hits += 1
+                    continue
+                lru[i] = m
+                mru[i] = tag
+        else:
+            sets = self._sets
+            n_sets = self.n_sets
+            assoc = self.associativity
+            for block in blocks:
+                s = sets[block % n_sets]
+                tag = base + block
+                if tag in s:
+                    # Re-insertion moves the tag to the MRU end.
+                    del s[tag]
+                    s[tag] = None
+                    hits += 1
+                    continue
+                if len(s) >= assoc:
+                    del s[next(iter(s))]
+                s[tag] = None
+        misses = len(blocks) - hits
+        if misses:
+            self._index_dirty = True
+        self.stats.hits += hits
+        self.stats.misses += misses
+        if len(self._owner_ids) > self._owner_gc_limit:
+            self._rebuild_index()
+        return hits
+
+    # -- queries -------------------------------------------------------- #
 
     def contains(self, owner: typing.Hashable, block: int) -> bool:
         """True if ``owner``'s ``block`` is resident (does not touch LRU state)."""
-        return (owner, block) in self._sets[block % self.n_sets]
+        oid = self._owner_ids.get(owner)
+        if oid is None:
+            return False
+        tag = (oid << _OWNER_SHIFT) + block
+        if self._two_way:
+            i = block & self._set_mask
+            return self._mru[i] == tag or self._lru[i] == tag
+        return tag in self._sets[block % self.n_sets]
 
     def footprint(self, owner: typing.Hashable) -> int:
         """Number of lines currently owned by ``owner``."""
-        return self._owner_lines.get(owner, 0)
+        oid = self._owner_ids.get(owner)
+        if oid is None:
+            return 0
+        if self._index_dirty:
+            self._rebuild_index()
+        tags = self._owner_tags.get(oid)
+        return len(tags) if tags else 0
+
+    def owner_lines(self) -> typing.Dict[typing.Hashable, int]:
+        """Resident line count per owner (owners with zero lines omitted)."""
+        if self._index_dirty:
+            self._rebuild_index()
+        keys = self._owner_keys
+        return {keys[oid]: len(tags) for oid, tags in self._owner_tags.items()}
 
     def resident_lines(self) -> int:
         """Total number of valid lines in the cache."""
+        if self._two_way:
+            return (
+                2 * self.n_sets
+                - self._lru.count(_EMPTY)
+                - self._mru.count(_EMPTY)
+            )
         return sum(len(s) for s in self._sets)
+
+    def set_occupancy(self, index: int) -> int:
+        """Number of valid lines in set ``index`` (bounds-checked)."""
+        if self._two_way:
+            if not 0 <= index < self.n_sets:
+                raise IndexError(index)
+            return (self._lru[index] != _EMPTY) + (self._mru[index] != _EMPTY)
+        return len(self._sets[index])
+
+    # -- invalidation --------------------------------------------------- #
 
     def flush(self) -> int:
         """Invalidate every line; returns how many were dropped.
@@ -112,25 +247,96 @@ class SetAssociativeCache:
         is referenced sequentially to eject all prior content.
         """
         dropped = self.resident_lines()
-        for cache_set in self._sets:
-            cache_set.clear()
-        self._owner_lines.clear()
+        if self._two_way:
+            self._lru = [_EMPTY] * self.n_sets
+            self._mru = [_EMPTY] * self.n_sets
+        else:
+            for cache_set in self._sets:
+                cache_set.clear()
+        self._owner_ids.clear()
+        self._owner_keys.clear()
+        self._free_ids.clear()
+        self._next_id = 0
+        self._owner_tags = {}
+        self._index_dirty = False
         return dropped
 
     def evict_owner(self, owner: typing.Hashable) -> int:
-        """Invalidate only ``owner``'s lines; returns how many were dropped."""
-        dropped = 0
-        for cache_set in self._sets:
-            victims = [tag for tag in cache_set if tag[0] == owner]
-            for tag in victims:
-                del cache_set[tag]
-                dropped += 1
-        self._owner_lines.pop(owner, None)
-        return dropped
+        """Invalidate only ``owner``'s lines; returns how many were dropped.
 
-    def set_occupancy(self, index: int) -> int:
-        """Number of valid lines in set ``index`` (bounds-checked)."""
-        return len(self._sets[index])
+        Cost is one (amortized) index rebuild plus work proportional to
+        the owner's resident lines — not a scan of every set.
+        """
+        oid = self._owner_ids.get(owner)
+        if oid is None:
+            return 0
+        if self._index_dirty:
+            self._rebuild_index()
+        tags = self._owner_tags.pop(oid, None)
+        if tags is None:
+            # The rebuild found no resident lines and released the id.
+            return 0
+        if self._two_way:
+            lru = self._lru
+            mru = self._mru
+            mask = self._set_mask
+            for tag in tags:
+                i = tag & mask
+                if mru[i] == tag:
+                    # Promote the surviving line; the set may also be empty.
+                    mru[i] = lru[i]
+                lru[i] = _EMPTY
+        else:
+            sets = self._sets
+            n_sets = self.n_sets
+            for tag in tags:
+                del sets[(tag - (oid << _OWNER_SHIFT)) % n_sets][tag]
+        self._release(oid)
+        # Only this owner's entries changed, so the index stays valid.
+        return len(tags)
+
+    # -- internals ------------------------------------------------------ #
+
+    def _intern(self, owner: typing.Hashable) -> int:
+        if self._free_ids:
+            oid = self._free_ids.pop()
+        else:
+            oid = self._next_id
+            self._next_id += 1
+        self._owner_ids[owner] = oid
+        self._owner_keys[oid] = owner
+        return oid
+
+    def _release(self, oid: int) -> None:
+        key = self._owner_keys.pop(oid)
+        del self._owner_ids[key]
+        self._free_ids.append(oid)
+
+    def _rebuild_index(self) -> None:
+        """Recompute the per-owner resident-tag sets from the line arrays.
+
+        Owners left with no resident lines are un-interned and their ids
+        recycled, which bounds every owner table by the cache capacity.
+        """
+        owner_tags: typing.Dict[int, typing.Set[int]] = {
+            oid: set() for oid in self._owner_keys
+        }
+        if self._two_way:
+            for tag in self._lru:
+                if tag != _EMPTY:
+                    owner_tags[tag >> _OWNER_SHIFT].add(tag)
+            for tag in self._mru:
+                if tag != _EMPTY:
+                    owner_tags[tag >> _OWNER_SHIFT].add(tag)
+        else:
+            for cache_set in self._sets:
+                for tag in cache_set:
+                    owner_tags[tag >> _OWNER_SHIFT].add(tag)
+        for oid in [oid for oid, tags in owner_tags.items() if not tags]:
+            del owner_tags[oid]
+            self._release(oid)
+        self._owner_tags = owner_tags
+        self._index_dirty = False
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,7 @@ import typing
 
 from repro.apps.reference import ReferenceGenerator, ReferenceSpec, reduced_machine
 from repro.engine.rng import RngRegistry
+from repro.machine.batching import batch_limit, worst_touch_cost
 from repro.machine.cache import SetAssociativeCache
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 
@@ -104,14 +105,17 @@ class SimulatedCacheFootprint:
             self._generators[task] = generator
         elapsed = 0.0
         hit_cost = ref.refs_per_touch * self.reduced.hit_time_s
-        miss_cost = (
-            self.reduced.miss_time_s
-            + (ref.refs_per_touch - 1) * self.reduced.hit_time_s
+        miss_cost = worst_touch_cost(
+            self.reduced.miss_time_s, self.reduced.hit_time_s, ref.refs_per_touch
         )
+        # Chunked playback: each chunk is sized so the duration can only
+        # be crossed by its final touch (see repro.machine.batching), so
+        # the stint ends after the same touch as the scalar loop did.
         while elapsed < duration:
-            hit = cache.access(task, generator.next_block())
-            elapsed += hit_cost if hit else miss_cost
-            self.touches_simulated += 1
+            n = batch_limit(duration - elapsed, miss_cost)
+            hits = cache.access_batch(task, generator.next_blocks(n))
+            elapsed += hits * hit_cost + (n - hits) * miss_cost
+            self.touches_simulated += n
         state = self._tasks.setdefault(task, _TaskState())
         state.processor = processor
         state.footprint = cache.footprint(task)

@@ -27,6 +27,7 @@ import typing
 from repro.apps.base import AppSpec
 from repro.apps.reference import ReferenceGenerator, reduced_machine
 from repro.engine.rng import RngRegistry
+from repro.machine.batching import batch_limit, worst_touch_cost
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.machine.processor import Processor
 
@@ -125,13 +126,28 @@ class InterveningExperiment:
         per_touch = app_ref.refs_per_touch * self.machine.hit_time_s
         total_seconds = max(2.0, self.n_switches_target * q_s)
         n_touches = int(total_seconds / per_touch)
+        # Chunked driver; see repro.machine.batching for why chunk sizing
+        # keeps rescheduling points identical to the touch-by-touch loop.
+        app_worst = worst_touch_cost(
+            self.machine.miss_time_s, self.machine.hit_time_s, app_ref.refs_per_touch
+        )
+        partner_worst = worst_touch_cost(
+            self.machine.miss_time_s,
+            self.machine.hit_time_s,
+            partner_ref.refs_per_touch,
+        )
         response_time = 0.0
         slice_left = q_s
         switches = 0
-        for _ in range(n_touches):
-            cost = proc.touch("measured", gen.next_block(), app_ref.refs_per_touch)
+        remaining = n_touches
+        while remaining:
+            n = min(remaining, batch_limit(slice_left, app_worst))
+            cost = proc.touch_batch(
+                "measured", gen.next_blocks(n), app_ref.refs_per_touch
+            )
             response_time += cost
             slice_left -= cost
+            remaining -= n
             if slice_left <= 0.0:
                 switches += 1
                 slice_left = q_s
@@ -141,9 +157,10 @@ class InterveningExperiment:
                     for index, partner_gen in enumerate(intervening):
                         budget = q_s
                         while budget > 0.0:
-                            budget -= proc.touch(
+                            k = batch_limit(budget, partner_worst)
+                            budget -= proc.touch_batch(
                                 f"partner{index}",
-                                partner_gen.next_block(),
+                                partner_gen.next_blocks(k),
                                 partner_ref.refs_per_touch,
                             )
         return response_time, switches

@@ -21,11 +21,14 @@ executes the *identical* touch sequence for the measured program (common
 random numbers), so response time differences are purely miss-pattern
 differences, exactly as on the real machine.
 
-Fidelity scaling: simulating the full 4096-line cache touch-by-touch is
-slow in Python, so the experiment runs by default at 1/16 scale — cache
+Fidelity scaling: the experiment runs by default at 1/16 scale — cache
 and working sets shrink 16x while the per-miss time grows 16x, leaving all
 penalties in *seconds* unchanged (see :func:`repro.apps.reference.reduced_machine`).
-Tests validate that scale does not bias the measured penalties.
+The regime loops drive the simulator in chunks
+(:mod:`repro.machine.batching`) rather than one touch at a time, which
+makes the full-fidelity ``scale=1`` run feasible too — the CLI exposes it
+via ``--scale 1``.  Tests validate that scale does not bias the measured
+penalties.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ import typing
 from repro.apps.base import AppSpec
 from repro.apps.reference import ReferenceGenerator, reduced_machine
 from repro.engine.rng import RngRegistry
+from repro.machine.batching import batch_limit, worst_touch_cost
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.machine.processor import Processor
 
@@ -156,13 +160,32 @@ class PenaltyExperiment:
             partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
 
         proc = Processor(0, self.machine)
+        machine = self.machine
+        # Chunked driver: play the largest chunk guaranteed not to cross
+        # the slice boundary before its final touch, so rescheduling
+        # points land exactly where the touch-by-touch loop put them.
+        app_worst = worst_touch_cost(
+            machine.miss_time_s, machine.hit_time_s, app_ref.refs_per_touch
+        )
+        partner_worst = (
+            worst_touch_cost(
+                machine.miss_time_s, machine.hit_time_s, partner_ref.refs_per_touch
+            )
+            if partner_ref is not None
+            else 0.0
+        )
         response_time = 0.0
         slice_left = q_s
         switches = 0
-        for _ in range(n_touches):
-            cost = proc.touch("measured", gen.next_block(), app_ref.refs_per_touch)
+        remaining = n_touches
+        while remaining:
+            n = min(remaining, batch_limit(slice_left, app_worst))
+            cost = proc.touch_batch(
+                "measured", gen.next_blocks(n), app_ref.refs_per_touch
+            )
             response_time += cost
             slice_left -= cost
+            remaining -= n
             if slice_left <= 0.0:
                 switches += 1
                 slice_left = q_s
@@ -172,9 +195,10 @@ class PenaltyExperiment:
                     assert partner_gen is not None and partner_ref is not None
                     budget = q_s
                     while budget > 0.0:
-                        budget -= proc.touch(
+                        k = batch_limit(budget, partner_worst)
+                        budget -= proc.touch_batch(
                             "partner",
-                            partner_gen.next_block(),
+                            partner_gen.next_blocks(k),
                             partner_ref.refs_per_touch,
                         )
         return RegimeRun(

@@ -150,6 +150,114 @@ class TestGenerator:
         assert 0 <= block < 1000
 
 
+class _DequeReference:
+    """The pre-batching formulation: deque hot set, rng.choice picks.
+
+    Kept as an executable specification — the production ring-buffer
+    generator must consume the random stream and emit blocks exactly as
+    this one does, one touch at a time.
+    """
+
+    def __init__(self, s: ReferenceSpec, rng: random.Random) -> None:
+        import collections
+
+        self.spec = s
+        self._rng = rng
+        self._recent = collections.deque(maxlen=s.reuse_window)
+        self._phase = 0
+        self._touches_in_phase = 0
+        self._region_size = s.data_blocks // s.n_phases
+        self._scan = 0
+
+    def next_block(self) -> int:
+        s = self.spec
+        rng = self._rng
+        if s.n_phases > 1:
+            self._touches_in_phase += 1
+            if self._touches_in_phase > s.phase_touches:
+                self._phase = (self._phase + 1) % s.n_phases
+                self._touches_in_phase = 0
+                self._recent.clear()
+                self._scan = self._phase * self._region_size
+        if self._recent and rng.random() < s.p_reuse:
+            return rng.choice(self._recent)
+        if s.cold_pattern == "sequential":
+            block = self._scan
+            self._scan += 1
+            if s.n_phases > 1:
+                base = self._phase * self._region_size
+                if self._scan >= base + self._region_size:
+                    self._scan = base
+            elif self._scan >= s.data_blocks:
+                self._scan = 0
+        elif s.n_phases > 1:
+            block = self._phase * self._region_size + rng.randrange(
+                max(1, self._region_size)
+            )
+        else:
+            block = rng.randrange(s.data_blocks)
+        if not self._recent or self._recent[-1] != block:
+            self._recent.append(block)
+        return block
+
+
+GENERATOR_SPECS = [
+    spec(),
+    spec(p_reuse=0.0),
+    spec(reuse_window=1),
+    spec(cold_pattern="sequential"),
+    spec(data_blocks=64, n_phases=4, phase_touches=37, reuse_window=5),
+    spec(data_blocks=7, n_phases=7, phase_touches=3, cold_pattern="sequential"),
+]
+
+
+class TestBatchStreamEquivalence:
+    @pytest.mark.parametrize("s", GENERATOR_SPECS, ids=lambda s: repr(s)[:40])
+    def test_next_blocks_matches_deque_formulation(self, s):
+        """Same seed => byte-identical stream to the old deque generator."""
+        for seed in (0, 1, 99):
+            ring = ReferenceGenerator(s, random.Random(seed))
+            deque_gen = _DequeReference(s, random.Random(seed))
+            assert ring.next_blocks(3000) == [
+                deque_gen.next_block() for _ in range(3000)
+            ]
+
+    def test_next_block_is_next_blocks_of_one(self):
+        a = ReferenceGenerator(spec(), random.Random(5))
+        b = ReferenceGenerator(spec(), random.Random(5))
+        assert [a.next_block() for _ in range(500)] == b.next_blocks(500)
+
+    def test_reset_between_chunks(self):
+        a = ReferenceGenerator(spec(p_reuse=0.95), random.Random(3))
+        b = ReferenceGenerator(spec(p_reuse=0.95), random.Random(3))
+        sa = a.next_blocks(400)
+        sb = [b.next_block() for _ in range(400)]
+        a.reset()
+        b.reset()
+        assert sa + a.next_blocks(400) == sb + [b.next_block() for _ in range(400)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    s=st.sampled_from(GENERATOR_SPECS),
+    seed=st.integers(0, 1000),
+    data=st.data(),
+)
+def test_property_any_chunking_yields_same_stream(s, seed, data):
+    """next_blocks is stream-equivalent for arbitrary chunk boundaries."""
+    total = 1200
+    scalar = ReferenceGenerator(s, random.Random(seed))
+    expected = [scalar.next_block() for _ in range(total)]
+    chunked = ReferenceGenerator(s, random.Random(seed))
+    got = []
+    while len(got) < total:
+        n = data.draw(st.integers(1, total - len(got)), label="chunk")
+        got.extend(chunked.next_blocks(n))
+    assert got == expected
+    # And the generators are left in the same state: continuations match.
+    assert chunked.next_blocks(200) == [scalar.next_block() for _ in range(200)]
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     p_reuse=st.floats(min_value=0.0, max_value=0.99),

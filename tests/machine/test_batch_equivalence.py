@@ -1,0 +1,157 @@
+"""Batched touch processing is behaviour-equivalent to scalar loops.
+
+The chunked Section 4 drivers rest on two facts proven here:
+
+* ``Processor.touch_batch`` produces the identical hit/miss outcome and
+  cache state as the equivalent ``touch`` loop (time costs agree to
+  floating-point summation order);
+* ``batch_limit`` sizes chunks so a budget can only be exhausted by a
+  chunk's final touch, which pins rescheduling points to exactly where a
+  touch-by-touch loop would have placed them.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.reference import ReferenceGenerator, ReferenceSpec
+from repro.machine.batching import DEFAULT_CHUNK, batch_limit, worst_touch_cost
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+from repro.machine.processor import Processor
+
+
+def tiny_spec(sets: int = 8, assoc: int = 2) -> MachineSpec:
+    line = 16
+    return dataclasses.replace(
+        SEQUENT_SYMMETRY, cache_size_bytes=sets * assoc * line, associativity=assoc
+    )
+
+
+class TestBatchLimit:
+    def test_budget_crossable_only_by_final_touch(self):
+        worst = 0.75e-6
+        for budget in (1e-6, 2.25e-6, 0.1, 0.75e-6):
+            n = batch_limit(budget, worst, cap=10**9)
+            assert (n - 1) * worst < budget
+
+    def test_non_positive_budget_yields_one(self):
+        assert batch_limit(0.0, 1e-6) == 1
+        assert batch_limit(-1.0, 1e-6) == 1
+
+    def test_cap_applies(self):
+        assert batch_limit(1.0, 1e-9) == DEFAULT_CHUNK
+        assert batch_limit(1.0, 1e-9, cap=7) == 7
+
+    def test_worst_touch_cost_matches_processor_miss(self):
+        proc = Processor(0, tiny_spec())
+        cost = proc.touch("t", 0, refs_per_touch=5)  # first access misses
+        assert cost == worst_touch_cost(
+            proc.spec.miss_time_s, proc.spec.hit_time_s, 5
+        )
+
+
+class TestTouchBatch:
+    def test_rejects_bad_refs(self):
+        proc = Processor(0, tiny_spec())
+        with pytest.raises(ValueError):
+            proc.touch_batch("t", [0], refs_per_touch=0)
+
+    def test_empty_batch_is_free(self):
+        proc = Processor(0, tiny_spec())
+        assert proc.touch_batch("t", []) == 0.0
+        assert proc.busy_time == 0.0
+
+    def test_cost_matches_scalar_loop(self):
+        blocks = [(i * 3) % 40 for i in range(100)]
+        scalar = Processor(0, tiny_spec())
+        total = sum(scalar.touch("t", b, refs_per_touch=4) for b in blocks)
+        batched = Processor(0, tiny_spec())
+        cost = batched.touch_batch("t", blocks, refs_per_touch=4)
+        assert cost == pytest.approx(total, rel=1e-12)
+        assert batched.busy_time == pytest.approx(scalar.busy_time, rel=1e-12)
+        assert batched.cache.stats.hits == scalar.cache.stats.hits
+        assert batched.cache.stats.misses == scalar.cache.stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, 99), min_size=1, max_size=300),
+    refs=st.integers(1, 20),
+    data=st.data(),
+)
+def test_property_touch_batch_equals_touch_loop(blocks, refs, data):
+    """Arbitrary traces, arbitrary chunkings: same cache state, same cost."""
+    scalar = Processor(0, tiny_spec())
+    costs = [scalar.touch("t", b, refs) for b in blocks]
+    batched = Processor(0, tiny_spec())
+    i = 0
+    while i < len(blocks):
+        j = data.draw(st.integers(i + 1, len(blocks)), label="chunk end")
+        cost = batched.touch_batch("t", blocks[i:j], refs)
+        assert cost == pytest.approx(sum(costs[i:j]), rel=1e-9)
+        i = j
+    assert batched.cache.stats.hits == scalar.cache.stats.hits
+    assert batched.cache.stats.misses == scalar.cache.stats.misses
+    assert batched.busy_time == pytest.approx(scalar.busy_time, rel=1e-9)
+    for b in range(100):
+        assert batched.cache.contains("t", b) == scalar.cache.contains("t", b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), q_us=st.integers(50, 400))
+def test_property_chunked_slice_loop_matches_scalar(seed, q_us):
+    """The regime-driver shape: chunking never moves a slice boundary.
+
+    Runs the same reference stream through a scalar touch loop and a
+    batch_limit-chunked loop and asserts bit-identical switch points.
+    The quantum is offset to 0.3 us past a whole microsecond: touch
+    costs here are multiples of 0.125 us, so no sum of costs can land
+    *exactly* on the budget, which is the one (measure-zero) case where
+    floating-point summation order could shift a switch by a touch (see
+    repro.machine.batching).  Away from ties, equality is exact.
+    """
+    ref = ReferenceSpec(
+        data_blocks=120, p_reuse=0.8, refs_per_touch=4, reuse_window=20
+    )
+    machine = tiny_spec(sets=16, assoc=2)
+    q_s = (q_us + 0.3) * 1e-6
+    n_touches = 2000
+
+    scalar_proc = Processor(0, machine)
+    scalar_gen = ReferenceGenerator(ref, random.Random(seed))
+    rt_scalar = 0.0
+    slice_left = q_s
+    scalar_switch_touches = []
+    for touch_index in range(n_touches):
+        cost = scalar_proc.touch("t", scalar_gen.next_block(), ref.refs_per_touch)
+        rt_scalar += cost
+        slice_left -= cost
+        if slice_left <= 0.0:
+            scalar_switch_touches.append(touch_index)
+            slice_left = q_s
+
+    chunk_proc = Processor(0, machine)
+    chunk_gen = ReferenceGenerator(ref, random.Random(seed))
+    worst = worst_touch_cost(machine.miss_time_s, machine.hit_time_s, ref.refs_per_touch)
+    rt_chunk = 0.0
+    slice_left = q_s
+    chunk_switch_touches = []
+    done = 0
+    while done < n_touches:
+        n = min(n_touches - done, batch_limit(slice_left, worst))
+        cost = chunk_proc.touch_batch(
+            "t", chunk_gen.next_blocks(n), ref.refs_per_touch
+        )
+        rt_chunk += cost
+        slice_left -= cost
+        done += n
+        if slice_left <= 0.0:
+            chunk_switch_touches.append(done - 1)
+            slice_left = q_s
+
+    assert chunk_switch_touches == scalar_switch_touches
+    assert rt_chunk == pytest.approx(rt_scalar, rel=1e-9)
+    assert chunk_proc.cache.stats.hits == scalar_proc.cache.stats.hits
+    assert chunk_proc.cache.stats.misses == scalar_proc.cache.stats.misses

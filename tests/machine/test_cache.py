@@ -128,14 +128,99 @@ class TestFootprint:
         cache = SetAssociativeCache(tiny_spec(sets=1, assoc=2))
         for i in range(1000):
             cache.access(f"owner-{i}", i)  # each access evicts a prior owner
-        assert len(cache._owner_lines) <= 2
+        assert len(cache.owner_lines()) <= 2
+        # The interning tables are bounded too, even though the lazy index
+        # only garbage-collects them at rebuild points.
+        assert len(cache._owner_ids) <= cache._owner_gc_limit + 1
 
     def test_evict_owner_drops_owner_key(self):
         cache = SetAssociativeCache(tiny_spec())
         cache.access("a", 0)
         cache.evict_owner("a")
-        assert "a" not in cache._owner_lines
+        assert "a" not in cache.owner_lines()
         assert cache.footprint("a") == 0
+
+    def test_owner_lines_reports_live_owners(self):
+        cache = SetAssociativeCache(tiny_spec())
+        cache.access("a", 0)
+        cache.access("a", 1)
+        cache.access("b", 2)
+        assert cache.owner_lines() == {"a": 2, "b": 1}
+
+
+class TestAccessBatch:
+    def test_batch_hit_count_matches_scalar(self):
+        blocks = [0, 1, 0, 2, 1, 0, 5, 5]
+        scalar = SetAssociativeCache(tiny_spec())
+        hits_scalar = sum(scalar.access("t", b) for b in blocks)
+        batch = SetAssociativeCache(tiny_spec())
+        assert batch.access_batch("t", blocks) == hits_scalar
+
+    def test_batch_rejects_nothing_and_counts_misses(self):
+        cache = SetAssociativeCache(tiny_spec())
+        assert cache.access_batch("t", []) == 0
+        assert cache.stats.accesses == 0
+        cache.access_batch("t", [0, 1, 0])
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+
+    def test_scalar_rejects_negative_blocks(self):
+        cache = SetAssociativeCache(tiny_spec())
+        with pytest.raises(ValueError):
+            cache.access("t", -1)
+
+    @pytest.mark.parametrize("sets,assoc", [(8, 2), (8, 4), (3, 2), (5, 1)])
+    def test_batch_equals_scalar_loop_any_geometry(self, sets, assoc):
+        """Both storage layouts: flat 2-way fast path and dict fallback."""
+        line = 16
+        spec = dataclasses.replace(
+            SEQUENT_SYMMETRY,
+            cache_size_bytes=sets * assoc * line,
+            associativity=assoc,
+        )
+        blocks = [(i * 7 + i * i) % (sets * assoc * 3) for i in range(200)]
+        a = SetAssociativeCache(spec)
+        for b in blocks:
+            a.access("t", b)
+        c = SetAssociativeCache(spec)
+        c.access_batch("t", blocks)
+        assert a.stats.hits == c.stats.hits
+        assert a.stats.misses == c.stats.misses
+        for b in range(sets * assoc * 3):
+            assert a.contains("t", b) == c.contains("t", b)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 63)),
+        max_size=300,
+    ),
+    st.data(),
+)
+def test_property_batch_equals_scalar(accesses, data):
+    """Any chunking of an access trace leaves identical state and stats."""
+    spec = tiny_spec(sets=8, assoc=2)
+    scalar = SetAssociativeCache(spec)
+    results = [scalar.access(owner, block) for owner, block in accesses]
+    batched = SetAssociativeCache(spec)
+    i = 0
+    while i < len(accesses):
+        # A batch call covers a run of consecutive same-owner accesses.
+        owner = accesses[i][0]
+        j_max = data.draw(st.integers(i + 1, len(accesses)), label="chunk end")
+        j = i + 1
+        while j < j_max and accesses[j][0] == owner:
+            j += 1
+        hits = batched.access_batch(owner, [b for _, b in accesses[i:j]])
+        assert hits == sum(results[i:j])
+        i = j
+    assert batched.stats.hits == scalar.stats.hits
+    assert batched.stats.misses == scalar.stats.misses
+    for owner in ("a", "b"):
+        assert batched.footprint(owner) == scalar.footprint(owner)
+        for block in range(64):
+            assert batched.contains(owner, block) == scalar.contains(owner, block)
 
 
 @settings(max_examples=50)

@@ -1,9 +1,15 @@
 """The Section 4 penalty experiment (fast, coarse-scale versions)."""
 
+import typing
+
 import pytest
 
 from repro.apps import GRAVITY, MATRIX, MVA
-from repro.measure.penalty import PAPER_QUANTA_S, PenaltyExperiment
+from repro.apps.base import AppSpec
+from repro.apps.reference import ReferenceGenerator
+from repro.engine.rng import RngRegistry
+from repro.machine.processor import Processor
+from repro.measure.penalty import PAPER_QUANTA_S, PenaltyExperiment, RegimeRun
 
 #: Aggressive fidelity reduction keeps these tests fast; the benchmark
 #: suite runs the calibrated scale-16 version.
@@ -78,6 +84,76 @@ class TestTable1Harness:
             PenaltyExperiment(n_switches_target=1)
 
 
+def _scalar_run_regime(
+    experiment: PenaltyExperiment,
+    app: AppSpec,
+    q_s: float,
+    regime: str,
+    partner: typing.Optional[AppSpec],
+    n_touches: int,
+) -> RegimeRun:
+    """The pre-batching regime driver, one Processor.touch per touch.
+
+    Kept as an executable specification for the production chunked
+    driver: identical RNG derivation, identical reference streams,
+    touch-by-touch slice accounting.
+    """
+    rng = RngRegistry(experiment.seed).spawn(f"{app.name}/q{q_s:g}")
+    app_ref = app.reference.reduced(experiment.scale)
+    gen = ReferenceGenerator(app_ref, rng.stream("app"))
+    partner_gen = partner_ref = None
+    if partner is not None:
+        partner_ref = partner.reference.reduced(experiment.scale)
+        partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
+    proc = Processor(0, experiment.machine)
+    response_time = 0.0
+    slice_left = q_s
+    switches = 0
+    for _ in range(n_touches):
+        cost = proc.touch("measured", gen.next_block(), app_ref.refs_per_touch)
+        response_time += cost
+        slice_left -= cost
+        if slice_left <= 0.0:
+            switches += 1
+            slice_left = q_s
+            if regime == "migrating":
+                proc.flush_cache()
+            elif regime == "multiprog":
+                budget = q_s
+                while budget > 0.0:
+                    budget -= proc.touch(
+                        "partner", partner_gen.next_block(), partner_ref.refs_per_touch
+                    )
+    return RegimeRun(
+        response_time=response_time,
+        n_switches=switches,
+        hit_rate=proc.cache.stats.hit_rate,
+    )
+
+
+class TestChunkedDriverEquivalence:
+    """The chunked production driver against the scalar specification."""
+
+    #: offset past a whole millisecond so no sum of touch costs (all
+    #: multiples of 0.125 us) can tie exactly with the slice budget —
+    #: the one case where summation order may shift a switch by a touch.
+    Q_S = 0.0501003
+
+    @pytest.mark.parametrize("regime,partner", [
+        ("stationary", None),
+        ("migrating", None),
+        ("multiprog", MATRIX),
+    ])
+    def test_matches_scalar_loop(self, regime, partner):
+        exp = PenaltyExperiment(scale=FAST_SCALE, n_switches_target=10, min_run_s=0.4)
+        n_touches = exp._touch_count(MVA, self.Q_S)
+        scalar = _scalar_run_regime(exp, MVA, self.Q_S, regime, partner, n_touches)
+        chunked = exp._run_regime(MVA, self.Q_S, regime, partner, n_touches)
+        assert chunked.n_switches == scalar.n_switches
+        assert chunked.response_time == pytest.approx(scalar.response_time, rel=1e-9)
+        assert chunked.hit_rate == pytest.approx(scalar.hit_rate, rel=1e-12)
+
+
 class TestScaleInvariance:
     def test_penalties_stable_across_fidelity(self):
         """Scale-32 and scale-64 agree on P^NA within 40%.
@@ -90,3 +166,23 @@ class TestScaleInvariance:
         p_coarse = coarse.measure(GRAVITY, 0.05, partners=()).p_na_s
         p_fine = fine.measure(GRAVITY, 0.05, partners=()).p_na_s
         assert p_coarse == pytest.approx(p_fine, rel=0.4)
+
+    @pytest.mark.slow
+    def test_full_fidelity_matches_default_scale(self):
+        """Scale 1 (the real 4096-line cache, no reduction) agrees with the
+        default scale 16 on both P^NA and P^A.
+
+        This is the run the batched hot path makes feasible: it plays
+        every touch against the full-size cache.  The tolerance absorbs
+        sampling noise between the two cache geometries.
+        """
+        full = PenaltyExperiment(scale=1, n_switches_target=20, min_run_s=1.0)
+        default = PenaltyExperiment(scale=16, n_switches_target=20, min_run_s=1.0)
+        r_full = full.measure(MVA, 0.1, partners=(MATRIX,))
+        r_default = default.measure(MVA, 0.1, partners=(MATRIX,))
+        assert r_full.p_na_s == pytest.approx(r_default.p_na_s, rel=0.35)
+        assert r_full.p_a_s("MATRIX") == pytest.approx(
+            r_default.p_a_s("MATRIX"), rel=0.35
+        )
+        # Affinity ordering is preserved at every fidelity.
+        assert 0 < r_full.p_a_s("MATRIX") < r_full.p_na_s

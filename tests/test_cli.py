@@ -27,6 +27,17 @@ class TestParser:
         args = build_parser().parse_args(["table1", "--scale", "32"])
         assert args.scale == 32
 
+    def test_table1_full_fidelity_scale_accepted(self):
+        args = build_parser().parse_args(["table1", "--scale", "1"])
+        assert args.scale == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-4"])
+    def test_scale_must_be_positive(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", bad])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--scale", bad])
+
 
 class TestCommands:
     def test_apps_output(self, capsys):
