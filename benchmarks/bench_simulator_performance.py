@@ -95,6 +95,47 @@ def test_cache_simulator_scalar_throughput(benchmark):
     benchmark(churn)
 
 
+def test_tracer_disabled_overhead():
+    """CI guard: a disabled tracer must cost <5% on the cache hot path.
+
+    Re-runs the 100k-access batched benchmark twice — bare cache versus a
+    cache with a :class:`NullTracer` attached — and compares min-of-N
+    timings.  The instrumented hot path's guard is one attribute load and
+    branch per ``access_batch`` call (not per access), so the disabled
+    path must be indistinguishable; 5% is pure noise margin.
+    """
+    from repro.obs import NullTracer
+
+    blocks = [(i * 7) % 6000 for i in range(100_000)]
+    chunks = [
+        blocks[i : i + DEFAULT_CHUNK] for i in range(0, len(blocks), DEFAULT_CHUNK)
+    ]
+
+    def best_of(cache, rounds=7):
+        access_batch = cache.access_batch
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for chunk in chunks:
+                access_batch("t", chunk)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    bare = SetAssociativeCache(SEQUENT_SYMMETRY)
+    nulled = SetAssociativeCache(SEQUENT_SYMMETRY)
+    nulled.attach_tracer(NullTracer(), cpu_id=0, clock=lambda: 0.0)
+
+    base_s = best_of(bare)
+    null_s = best_of(nulled)
+    ratio = null_s / base_s if base_s else float("inf")
+    print(
+        f"\ndisabled-tracer overhead on 100k batched cache accesses: "
+        f"bare {base_s * 1e3:.2f}ms, NullTracer {null_s * 1e3:.2f}ms, "
+        f"ratio {ratio:.4f}x"
+    )
+    assert ratio <= 1.05, f"disabled tracer costs {ratio:.4f}x (budget 1.05x)"
+
+
 def test_reference_generator_throughput(benchmark):
     """100k touches from the batched reference-stream generator."""
     gen = ReferenceGenerator(

@@ -11,7 +11,13 @@ Usage::
     python -m repro gantt [--mix K]         # allocation timelines
     python -m repro section8                # time-sharing contrast
     python -m repro hierarchy               # Section 7.2 sqrt-memory law
+    python -m repro trace [--mix K] [--policy P] [--out F]  # JSONL trace
     python -m repro all                     # everything (slow)
+
+The replication-based experiments accept ``--metrics``: the run is
+instrumented with a metrics registry and the merged snapshot is printed
+as key-sorted JSON after the experiment's own output, preceded by a
+``=== metrics`` marker line.
 """
 
 from __future__ import annotations
@@ -48,6 +54,27 @@ from repro.reporting.tables import (
 
 _DYNAMIC_POLICIES = (DYNAMIC, DYN_AFF, DYN_AFF_DELAY)
 
+_ALL_POLICIES = (
+    EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_DELAY, DYN_AFF_NOPRI,
+)
+_POLICY_BY_NAME = {p.name: p for p in _ALL_POLICIES}
+
+#: Marker line preceding a JSON metrics snapshot on stdout (tests and
+#: scripts split on it to find the machine-readable part).
+METRICS_MARKER = "=== metrics ==="
+
+
+def _print_snapshot(snapshot: typing.Mapping[str, typing.Any], label: str = "") -> None:
+    from repro.reporting.obs_export import snapshot_to_json
+
+    print(METRICS_MARKER + (f" {label}" if label else ""))
+    print(snapshot_to_json(snapshot), end="")
+
+
+def _print_comparison_metrics(comparison) -> None:
+    for policy in sorted(comparison.metrics):
+        _print_snapshot(comparison.metrics[policy], label=policy)
+
 
 def _scale_arg(value: str) -> int:
     """Fidelity scale: a positive integer (1 = full-fidelity cache)."""
@@ -69,10 +96,17 @@ def cmd_apps(args: argparse.Namespace) -> None:
 
 def cmd_table1(args: argparse.Namespace) -> None:
     """Table 1: cache penalties per application per Q."""
-    experiment = PenaltyExperiment(scale=args.scale, seed=args.seed)
+    registry = None
+    if getattr(args, "metrics", False):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    experiment = PenaltyExperiment(scale=args.scale, seed=args.seed, metrics=registry)
     apps = [APPLICATIONS[n] for n in ("MATRIX", "MVA", "GRAVITY")]
     table = experiment.table1(apps)
     print(render_table1(table))
+    if registry is not None:
+        _print_snapshot(registry.snapshot())
 
 
 def _mix_ids(args: argparse.Namespace) -> typing.List[int]:
@@ -89,11 +123,13 @@ def cmd_fig5(args: argparse.Namespace) -> None:
             replications=args.replications,
             base_seed=args.seed,
             workers=getattr(args, "workers", None),
+            collect_metrics=getattr(args, "metrics", False),
         )
         print(render_relative_rt_table(comparison))
         print()
         print(render_table3(comparison))
         print()
+        _print_comparison_metrics(comparison)
         if args.csv:
             for policy in comparison.policies():
                 for job, summary in comparison.summaries[policy].items():
@@ -129,22 +165,33 @@ def cmd_fig6(args: argparse.Namespace) -> None:
             replications=args.replications,
             base_seed=args.seed,
             workers=getattr(args, "workers", None),
+            collect_metrics=getattr(args, "metrics", False),
         )
         print(render_relative_rt_table(comparison))
         print()
+        _print_comparison_metrics(comparison)
 
 
 def cmd_table4(args: argparse.Namespace) -> None:
     """Table 4: homogeneous workloads, Dyn-Aff vs Dyn-Aff-NoPri."""
+    registry = None
+    if getattr(args, "metrics", False):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     results: typing.Dict[int, typing.Dict[str, float]] = {}
     for mix_id in (1, 4):
         results[mix_id] = {}
         for policy in (DYN_AFF, DYN_AFF_NOPRI):
             total = 0.0
             for r in range(args.replications):
-                total += run_mix(mix_id, policy, seed=args.seed + r).mean_response_time()
+                total += run_mix(
+                    mix_id, policy, seed=args.seed + r, metrics=registry
+                ).mean_response_time()
             results[mix_id][policy.name] = total / args.replications
     print(render_table4(results))
+    if registry is not None:
+        _print_snapshot(registry.snapshot())
 
 
 def cmd_future(args: argparse.Namespace) -> None:
@@ -157,7 +204,9 @@ def cmd_future(args: argparse.Namespace) -> None:
             replications=args.replications,
             base_seed=args.seed,
             workers=getattr(args, "workers", None),
+            collect_metrics=getattr(args, "metrics", False),
         )
+        _print_comparison_metrics(comparison)
         observations = observations_from_comparison(comparison)
         for job in comparison.job_names():
             series = {}
@@ -243,6 +292,46 @@ def cmd_hierarchy(args: argparse.Namespace) -> None:
         print(f"  {speed:5.0f} | {constant:15.4f} | {sqrt_rate:20.4f} | {feasible}")
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Run one mix instrumented, export the JSONL trace, and self-check it.
+
+    The written trace is verified on the spot: the invariant layer must
+    find zero violations and replaying the record stream must reproduce
+    the run's own aggregates exactly.  A failed check exits non-zero, so
+    a bad trace can never be silently shipped as an artifact.
+    """
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.invariants import check_trace
+    from repro.obs.replay import verify_replay
+    from repro.reporting.obs_export import trace_to_jsonl
+
+    policy = _POLICY_BY_NAME[args.policy]
+    mix_id = args.mix if args.mix else 5
+    tracer = Tracer(capture_engine_events=args.engine_events)
+    registry = MetricsRegistry() if args.metrics else None
+    result = run_mix(
+        mix_id, policy, seed=args.seed, tracer=tracer, metrics=registry
+    )
+    violations = check_trace(tracer.records)
+    replay_errors = verify_replay(tracer.records, result)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(tracer.records))
+    print(
+        f"wrote {len(tracer.records)} records for workload #{mix_id} "
+        f"under {policy.name} to {args.out}"
+    )
+    print(f"invariant violations: {len(violations)}")
+    for message in violations[:20]:
+        print(f"  {message}")
+    print("replay check: " + ("exact" if not replay_errors else "MISMATCH"))
+    for message in replay_errors[:20]:
+        print(f"  {message}")
+    if registry is not None:
+        _print_snapshot(registry.snapshot())
+    if violations or replay_errors:
+        raise SystemExit(1)
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     """Every experiment in paper order."""
     cmd_apps(args)
@@ -276,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=_scale_arg, default=16,
         help="fidelity reduction factor (1 = full cache, every touch simulated)",
     )
+    p_t1.add_argument(
+        "--metrics", action="store_true",
+        help="print a JSON metrics snapshot after the table",
+    )
     p_t1.set_defaults(func=cmd_table1)
 
     for name, func, help_text in (
@@ -293,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
                 "identical to a serial run for the same seed (default: serial)"
             ),
         )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="print per-policy JSON metrics snapshots after the tables",
+        )
         if name == "fig5":
             p.add_argument("--csv", type=str, default=None,
                            help="also write per-job metrics to this CSV file")
@@ -300,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_t4 = sub.add_parser("table4", help="Table 4: homogeneous workloads")
     p_t4.add_argument("-r", "--replications", type=int, default=3)
+    p_t4.add_argument(
+        "--metrics", action="store_true",
+        help="print a JSON metrics snapshot after the table",
+    )
     p_t4.set_defaults(func=cmd_table4)
 
     p_gantt = sub.add_parser("gantt", help="ASCII allocation timelines")
@@ -312,6 +413,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_hier = sub.add_parser("hierarchy", help="Section 7.2 sqrt-memory-law table")
     p_hier.set_defaults(func=cmd_hierarchy)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one mix instrumented and export a JSONL trace"
+    )
+    p_trace.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)
+    p_trace.add_argument(
+        "--policy", choices=sorted(_POLICY_BY_NAME), default=DYN_AFF.name,
+    )
+    p_trace.add_argument(
+        "--out", type=str, default="trace.jsonl",
+        help="output path for the JSONL trace (default: trace.jsonl)",
+    )
+    p_trace.add_argument(
+        "--metrics", action="store_true",
+        help="also print a JSON metrics snapshot",
+    )
+    p_trace.add_argument(
+        "--engine-events", action="store_true",
+        help="include every engine event firing in the trace (verbose)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_all = sub.add_parser("all", help="run every experiment (slow)")
     p_all.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)

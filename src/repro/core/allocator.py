@@ -29,6 +29,7 @@ import typing
 from repro.core.history import ProcessorHistory
 from repro.core.policies.base import Policy, equipartition_allocation
 from repro.core.priority import CreditScheduler
+from repro.obs.records import PolicyDecision
 from repro.threads.job import Job
 from repro.threads.workers import WorkerTask
 
@@ -127,6 +128,43 @@ class Allocator:
         return None
 
     # ------------------------------------------------------------------ #
+    # observability
+
+    def _emit_decision(
+        self,
+        rule: str,
+        job: typing.Optional[Job],
+        cpu: typing.Optional[int],
+        reason: str,
+        credits: typing.Optional[typing.Mapping[str, float]] = None,
+        allocations: typing.Optional[typing.Mapping[str, int]] = None,
+    ) -> None:
+        """Record one allocation decision, with the evidence it weighed.
+
+        The credit snapshot is exactly what the rule compared, so the
+        invariant layer can re-derive the choice mechanically.
+        """
+        tracer = self.system.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                PolicyDecision(
+                    time=self.system.now,
+                    rule=rule,
+                    job=job.name if job is not None else None,
+                    cpu=cpu,
+                    reason=reason,
+                    credits=dict(credits) if credits else {},
+                    allocations=dict(allocations) if allocations else {},
+                )
+            )
+        metrics = self.system.metrics
+        if metrics is not None:
+            metrics.counter(f"policy/decisions/{rule}").inc()
+
+    def _credit_snapshot(self, jobs: typing.Iterable[Job]) -> typing.Dict[str, float]:
+        return {job.name: self.credit.credit(job) for job in jobs}
+
+    # ------------------------------------------------------------------ #
     # job lifecycle
 
     def job_arrived(self, job: Job) -> None:
@@ -176,6 +214,13 @@ class Allocator:
         arrival at t = 0) it runs a handful of times per experiment.
         """
         targets = self.equipartition_targets()
+        self._emit_decision(
+            "EQ",
+            None,
+            None,
+            "allocation numbers recomputed on job arrival/completion",
+            allocations=targets,
+        )
         surplus: typing.List[ProcessorRecord] = [p for p in self.procs if p.is_free]
         for job in self.jobs:
             excess = self.allocation(job) - targets[job.name]
@@ -218,6 +263,18 @@ class Allocator:
                     or self.credit.at_least_as_deserving(worker.job, requesting)
                 )
                 if priority_ok:
+                    # Snapshot the credits the gate actually compared
+                    # (empty for NoPri, which never ran the gate).
+                    credits: typing.Dict[str, float] = {}
+                    if self.policy.respect_priority:
+                        credits = self._credit_snapshot([worker.job] + requesting)
+                    self._emit_decision(
+                        "A.1",
+                        worker.job,
+                        proc.cpu_id,
+                        "affinity offer to the last task that ran here",
+                        credits=credits,
+                    )
                     self.system.grant_processor(proc, worker.job, worker=worker)
                     return
                 break  # the most deserving history entry lost on priority
@@ -232,6 +289,21 @@ class Allocator:
         )
         if worker is None:
             return
+        if self.policy.respect_priority:
+            self._emit_decision(
+                "priority",
+                job,
+                proc.cpu_id,
+                "highest-credit requester wins the free processor",
+                credits=self._credit_snapshot(requesting),
+            )
+        else:
+            self._emit_decision(
+                "random",
+                job,
+                proc.cpu_id,
+                "uniform-random requester (priority clause dropped)",
+            )
         self.system.grant_processor(proc, job, worker=worker)
 
     def new_work(self, job: Job) -> None:
@@ -242,9 +314,18 @@ class Allocator:
             want = job.additional_request(self.allocation(job))
             if want <= 0:
                 return
-            proc = self._take_free(job) or self._take_willing(job) or self._take_preempt(job)
+            rule, reason = "D.1", "granted from the free pool"
+            proc = self._take_free(job)
+            if proc is None:
+                rule, reason = "D.2", "claimed from a yield-delay window"
+                proc = self._take_willing(job)
+            if proc is None:
+                rule = "D.3"  # _take_preempt emits its own evidence record
+                proc = self._take_preempt(job)
             if proc is None:
                 return
+            if rule != "D.3":
+                self._emit_decision(rule, job, proc.cpu_id, reason)
             worker = job.select_worker(
                 proc.cpu_id, self.policy.use_affinity, self.policy.history_depth
             )
@@ -311,6 +392,14 @@ class Allocator:
         if not owned_busy:
             return None
         proc = self.system.rng.choice(owned_busy)
+        self._emit_decision(
+            "D.3",
+            job,
+            proc.cpu_id,
+            f"preempt {victim.name} (largest allocation) for equity",
+            credits=self._credit_snapshot([job, victim]),
+            allocations={job.name: my_alloc, victim.name: victim_alloc},
+        )
         self.system.preempt_processor(proc)
         self.system.release_processor(proc)
         return proc

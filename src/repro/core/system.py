@@ -32,6 +32,17 @@ from repro.core.policies.base import Policy
 from repro.core.trace import AllocationTrace
 from repro.engine.rng import RngRegistry
 from repro.engine.simulator import Simulator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.records import (
+    AllocationChange,
+    Dispatch,
+    JobArrival,
+    JobDeparture,
+    RunConfig,
+    RunEnd,
+    Undispatch,
+)
+from repro.obs.tracer import Tracer
 from repro.machine.footprint import FootprintModel
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.threads.job import Job
@@ -103,6 +114,8 @@ class SchedulingSystem:
         arrival_times: typing.Optional[typing.Sequence[float]] = None,
         trace: typing.Optional["AllocationTrace"] = None,
         footprint_model: typing.Optional[object] = None,
+        tracer: typing.Optional[Tracer] = None,
+        metrics: typing.Optional[MetricsRegistry] = None,
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job")
@@ -137,6 +150,12 @@ class SchedulingSystem:
         self._finished_jobs = 0
         #: optional allocation-timeline recorder (see repro.core.trace)
         self.trace = trace
+        #: optional structured tracer and metrics registry (see repro.obs);
+        #: both default to None, which keeps every emission site at a
+        #: single attribute load and branch.
+        self.tracer = tracer
+        self.metrics = metrics
+        self.sim.attach_tracer(tracer)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -148,6 +167,23 @@ class SchedulingSystem:
 
     def run(self, until: typing.Optional[float] = None) -> SystemResult:
         """Execute the workload to completion and return per-job metrics."""
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                RunConfig(
+                    time=self.now,
+                    policy=self.policy.name,
+                    n_processors=len(self.allocator.procs),
+                    seed=self.seed,
+                    jobs=tuple(job.name for job in self.jobs),
+                    machine=self.machine.name,
+                    cache_lines=self.machine.cache_lines,
+                    miss_time_s=self.machine.miss_time_s,
+                    context_switch_s=self.machine.context_switch_s,
+                    respect_priority=self.policy.respect_priority,
+                    use_affinity=self.policy.use_affinity,
+                )
+            )
         for job, arrival in zip(self.jobs, self._arrivals):
             self.sim.at(
                 arrival,
@@ -158,6 +194,17 @@ class SchedulingSystem:
         self.sim.run(until=until)
         if self.trace is not None:
             self.trace.finish(self.now)
+        if tr is not None and tr.enabled:
+            tr.emit(
+                RunEnd(
+                    time=self.now,
+                    makespan=self.now,
+                    events_fired=self.sim.events_fired,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.gauge("run/makespan_s").set(self.now)
+            self.metrics.counter("run/events_fired").inc(self.sim.events_fired)
         unfinished = [job.name for job in self.jobs if not job.finished]
         if unfinished and until is None:
             raise RuntimeError(
@@ -180,11 +227,29 @@ class SchedulingSystem:
         self._alloc_mark[job.name] = self.now
         self._alloc_count[job.name] = 0
         self._busy_count[job.name] = 0
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(JobArrival(time=self.now, job=job.name))
+        if self.metrics is not None:
+            self.metrics.counter("jobs/arrived").inc()
         self.allocator.job_arrived(job)
 
     def _complete_job(self, job: Job) -> None:
         job.completion_time = self.now
         self._touch_allocation(job)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                JobDeparture(
+                    time=self.now,
+                    job=job.name,
+                    response_time=job.response_time,
+                    n_reallocations=job.n_reallocations,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("jobs/completed").inc()
+            self.metrics.histogram("jobs/response_s").observe(job.response_time)
         self.allocator.job_departed(job)
         self._finished_jobs += 1
         if self._finished_jobs == len(self.jobs):
@@ -229,6 +294,18 @@ class SchedulingSystem:
         proc.job = job
         if self.trace is not None:
             self.trace.record(self.now, proc.cpu_id, job.name if job else None)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                AllocationChange(
+                    time=self.now,
+                    cpu=proc.cpu_id,
+                    job=job.name if job else None,
+                    prev=old.name if old else None,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("alloc/changes").inc()
 
     def _note_busy_change(self, job: Job, delta: int) -> None:
         """Track busy (actually-executing) processors for the credit scheme.
@@ -283,6 +360,7 @@ class SchedulingSystem:
         self, proc: ProcessorRecord, job: Job, worker: WorkerTask, was_held: bool
     ) -> None:
         """Place ``worker`` on ``proc`` and schedule its thread completion."""
+        ready_depth = len(job.ready)
         cheap = (
             was_held
             and worker.last_processor == proc.cpu_id
@@ -291,6 +369,7 @@ class SchedulingSystem:
         if cheap:
             overhead = 0.0
             switch_charged = penalty_charged = 0.0
+            affine = True
         else:
             penalty, affine = self.footprint.reload_penalty(worker.key, proc.cpu_id)
             overhead = self.machine.context_switch_s + penalty
@@ -305,6 +384,32 @@ class SchedulingSystem:
         proc.worker = worker
         proc.history.record(worker.key)
         self._note_busy_change(job, +1)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                Dispatch(
+                    time=self.now,
+                    cpu=proc.cpu_id,
+                    job=job.name,
+                    worker=worker.index,
+                    affine=affine,
+                    cheap=cheap,
+                    penalty_s=penalty_charged,
+                    switch_s=switch_charged,
+                    ready_depth=ready_depth,
+                )
+            )
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("dispatch/total").inc()
+            metrics.histogram("dispatch/ready_depth").observe(ready_depth)
+            if not cheap:
+                metrics.counter("dispatch/reallocations").inc()
+                if affine:
+                    metrics.counter("dispatch/affine").inc()
+                metrics.counter("dispatch/cache_penalty_s").inc(penalty_charged)
+                metrics.counter("dispatch/switch_overhead_s").inc(switch_charged)
+                metrics.histogram("dispatch/penalty_s").observe(penalty_charged)
         if worker.current_thread is None:
             tid = job.take_ready_thread(worker)
             if tid is None:
@@ -352,6 +457,19 @@ class SchedulingSystem:
         self.footprint.note_run(worker.key, proc.cpu_id, duration, job.curve)
         proc.worker = None
         self._note_busy_change(job, -1)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                Undispatch(
+                    time=self.now,
+                    cpu=proc.cpu_id,
+                    job=job.name,
+                    worker=worker.index,
+                    reason="preempt",
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("dispatch/preemptions").inc()
 
     def release_processor(self, proc: ProcessorRecord) -> None:
         """Return ``proc`` to the free pool (it must not be running)."""
@@ -383,6 +501,17 @@ class SchedulingSystem:
             self.footprint.note_run(worker.key, proc.cpu_id, duration, job.curve)
             proc.worker = None
             self._note_busy_change(job, -1)
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.emit(
+                    Undispatch(
+                        time=self.now,
+                        cpu=proc.cpu_id,
+                        job=job.name,
+                        worker=worker.index,
+                        reason="done",
+                    )
+                )
             self._complete_job(job)
             return
 
@@ -416,6 +545,17 @@ class SchedulingSystem:
         self.footprint.note_run(worker.key, proc.cpu_id, duration, job.curve)
         proc.worker = None
         self._note_busy_change(job, -1)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                Undispatch(
+                    time=self.now,
+                    cpu=proc.cpu_id,
+                    job=job.name,
+                    worker=worker.index,
+                    reason="idle",
+                )
+            )
 
         # A suspended sibling holds a partial thread: give it the processor.
         sibling = job.select_worker(

@@ -46,6 +46,21 @@ class Simulator:
         """Register a ``(time, label)`` observer called for each fired event."""
         self._trace_hooks.append(hook)
 
+    def attach_tracer(self, tracer: typing.Optional[object]) -> None:
+        """Wire a :class:`repro.obs.tracer.Tracer` into the run loop.
+
+        Only a tracer that is enabled *and* asked for engine events
+        (``capture_engine_events``) installs a hook; otherwise this is a
+        no-op, so the run loop's hook list stays empty and the disabled
+        path costs nothing per event.
+        """
+        if (
+            tracer is not None
+            and getattr(tracer, "enabled", False)
+            and getattr(tracer, "capture_engine_events", False)
+        ):
+            self.add_trace_hook(tracer.engine_hook)  # type: ignore[attr-defined]
+
     def schedule(
         self,
         delay: float,

@@ -47,6 +47,7 @@ import dataclasses
 import typing
 
 from repro.machine.params import MachineSpec
+from repro.obs.records import CacheBatch, CacheFlush
 
 #: Bits reserved for the block index inside an integer line tag.
 _OWNER_SHIFT = 40
@@ -113,6 +114,31 @@ class SetAssociativeCache:
         # rebuilds; force a rebuild (which recycles their ids) if the
         # table ever outgrows the cache itself.
         self._owner_gc_limit = max(32, 2 * spec.cache_lines)
+        # Observability: batch-granular trace emission.  None (the
+        # default) keeps the hot path at one attribute load + branch per
+        # access_batch call; records are only constructed when an enabled
+        # tracer is attached.
+        self._tracer: typing.Optional[object] = None
+        self._trace_cpu = 0
+        self._trace_clock: typing.Optional[typing.Callable[[], float]] = None
+
+    def attach_tracer(
+        self,
+        tracer: typing.Optional[object],
+        cpu_id: int = 0,
+        clock: typing.Optional[typing.Callable[[], float]] = None,
+    ) -> None:
+        """Emit batch/flush records to ``tracer`` (None detaches).
+
+        ``clock`` supplies record timestamps (e.g. the owning processor's
+        accumulated busy time); without one, records carry time 0.0.
+        """
+        self._tracer = tracer
+        self._trace_cpu = cpu_id
+        self._trace_clock = clock
+
+    def _trace_now(self) -> float:
+        return self._trace_clock() if self._trace_clock is not None else 0.0
 
     # -- accesses ------------------------------------------------------- #
 
@@ -188,6 +214,17 @@ class SetAssociativeCache:
         self.stats.misses += misses
         if len(self._owner_ids) > self._owner_gc_limit:
             self._rebuild_index()
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:  # type: ignore[attr-defined]
+            tracer.emit(  # type: ignore[attr-defined]
+                CacheBatch(
+                    time=self._trace_now(),
+                    cpu=self._trace_cpu,
+                    owner=str(owner),
+                    n=len(blocks),
+                    hits=hits,
+                )
+            )
         return hits
 
     # -- queries -------------------------------------------------------- #
@@ -259,6 +296,11 @@ class SetAssociativeCache:
         self._next_id = 0
         self._owner_tags = {}
         self._index_dirty = False
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:  # type: ignore[attr-defined]
+            tracer.emit(  # type: ignore[attr-defined]
+                CacheFlush(time=self._trace_now(), cpu=self._trace_cpu, lines=dropped)
+            )
         return dropped
 
     def evict_owner(self, owner: typing.Hashable) -> int:

@@ -24,12 +24,30 @@ class Processor:
     cost differs (aggregate multiply-add versus per-touch accumulation).
     """
 
-    def __init__(self, cpu_id: int, spec: MachineSpec) -> None:
+    def __init__(
+        self,
+        cpu_id: int,
+        spec: MachineSpec,
+        tracer: typing.Optional[object] = None,
+    ) -> None:
         self.cpu_id = cpu_id
         self.spec = spec
         self.cache = SetAssociativeCache(spec)
         self.busy_time = 0.0
         self.current_task: typing.Optional[typing.Hashable] = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer: typing.Optional[object]) -> None:
+        """Route this processor's cache records to ``tracer``.
+
+        Records are stamped with the processor's accumulated busy time,
+        which is the virtual clock of the single-processor measurement
+        experiments this API serves.
+        """
+        self.cache.attach_tracer(
+            tracer, cpu_id=self.cpu_id, clock=lambda: self.busy_time
+        )
 
     def touch(self, owner: typing.Hashable, block: int, refs_per_touch: int = 1) -> float:
         """Access ``block`` for ``owner``; returns the time cost in seconds.

@@ -123,6 +123,8 @@ class PenaltyExperiment:
         n_switches_target: int = 40,
         min_run_s: float = 2.0,
         seed: int = 0,
+        tracer: typing.Optional[object] = None,
+        metrics: typing.Optional[object] = None,
     ) -> None:
         if n_switches_target < 2:
             raise ValueError("need at least 2 switches for a measurement")
@@ -131,6 +133,8 @@ class PenaltyExperiment:
         self.n_switches_target = n_switches_target
         self.min_run_s = min_run_s
         self.seed = seed
+        self.tracer = tracer
+        self.metrics = metrics
 
     # ------------------------------------------------------------------ #
 
@@ -159,7 +163,7 @@ class PenaltyExperiment:
             partner_ref = partner.reference.reduced(self.scale)
             partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
 
-        proc = Processor(0, self.machine)
+        proc = Processor(0, self.machine, tracer=self.tracer)
         machine = self.machine
         # Chunked driver: play the largest chunk guaranteed not to cross
         # the slice boundary before its final touch, so rescheduling
@@ -201,6 +205,14 @@ class PenaltyExperiment:
                             partner_gen.next_blocks(k),
                             partner_ref.refs_per_touch,
                         )
+        if self.metrics is not None:
+            metrics = self.metrics
+            stats = proc.cache.stats
+            metrics.counter("penalty/cache_hits").inc(stats.hits)
+            metrics.counter("penalty/cache_misses").inc(stats.misses)
+            metrics.counter("penalty/switches").inc(switches)
+            metrics.counter("penalty/touches").inc(n_touches)
+            metrics.histogram("penalty/regime_response_s").observe(response_time)
         return RegimeRun(
             response_time=response_time,
             n_switches=switches,

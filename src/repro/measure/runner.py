@@ -26,6 +26,7 @@ from repro.engine.rng import RngRegistry
 from repro.engine.stats import ConfidenceInterval, SampleStats
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.measure.workloads import MIXES, WorkloadMix, make_jobs
+from repro.obs.metrics import MetricsRegistry
 
 #: One replication's outcome: policy name -> job name -> metrics.
 ReplicationResult = typing.Dict[str, typing.Dict[str, JobMetrics]]
@@ -41,13 +42,16 @@ def run_mix(
     seed: int = 0,
     n_processors: int = DEFAULT_PROCESSORS,
     machine: MachineSpec = SEQUENT_SYMMETRY,
+    tracer: typing.Optional[object] = None,
+    metrics: typing.Optional[MetricsRegistry] = None,
 ) -> SystemResult:
     """Run one mix once under one policy; returns per-job metrics.
 
     The workload RNG stream is derived from ``seed`` but *not* from the
     policy, so different policies scheduling the same seed see the same
     jobs — the common-random-numbers pairing the paper's relative response
-    times rely on.
+    times rely on.  ``tracer``/``metrics`` attach the observability layer
+    to the run; both default to off (the null fast path).
     """
     rng = RngRegistry(seed)
     jobs = make_jobs(mix, rng.spawn("workload"), n_processors=n_processors, machine=machine)
@@ -58,6 +62,8 @@ def run_mix(
         n_processors=n_processors,
         seed=seed,
         rng=rng.spawn(f"system/{policy.name}"),
+        tracer=tracer,
+        metrics=metrics,
     )
     return system.run()
 
@@ -82,12 +88,26 @@ class JobSummary:
 
 
 @dataclasses.dataclass(frozen=True)
+class Replication:
+    """One replication: per-job outcomes, plus optional metrics snapshots.
+
+    ``metrics`` maps policy name to a :meth:`MetricsRegistry.snapshot`
+    dict; it is empty unless the comparison was asked to collect metrics.
+    """
+
+    jobs: ReplicationResult
+    metrics: typing.Dict[str, dict] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
 class MixComparison:
     """One mix run under several policies with replications."""
 
     mix: WorkloadMix
     n_replications: int
     summaries: typing.Dict[str, typing.Dict[str, JobSummary]]  # policy -> job -> summary
+    #: policy -> merged metrics snapshot (empty unless collect_metrics)
+    metrics: typing.Dict[str, dict] = dataclasses.field(default_factory=dict)
 
     def policies(self) -> typing.List[str]:
         """Policy names present."""
@@ -116,35 +136,43 @@ def _run_replication(
     base_seed: int,
     n_processors: int,
     machine: MachineSpec,
+    collect_metrics: bool,
     replication: int,
-) -> ReplicationResult:
+) -> Replication:
     """One full replication: every policy on the shared seed ``base_seed + r``.
 
     Module-level (not a closure) so it pickles across the process boundary
     when the comparison drivers run with ``workers > 1``.  Keeping all
     policies of a replication in one task preserves the common-random-
-    numbers pairing *within* the worker that runs them.
+    numbers pairing *within* the worker that runs them.  When metrics are
+    collected, each policy gets a fresh registry and the snapshot travels
+    home with the replication (snapshots are plain dicts, so they pickle).
     """
-    out: ReplicationResult = {}
+    jobs_out: ReplicationResult = {}
+    metrics_out: typing.Dict[str, dict] = {}
     for policy in policies:
+        registry = MetricsRegistry() if collect_metrics else None
         result = run_mix(
             mix,
             policy,
             seed=base_seed + replication,
             n_processors=n_processors,
             machine=machine,
+            metrics=registry,
         )
-        out[policy.name] = dict(result.jobs)
-    return out
+        jobs_out[policy.name] = dict(result.jobs)
+        if registry is not None:
+            metrics_out[policy.name] = registry.snapshot()
+    return Replication(jobs=jobs_out, metrics=metrics_out)
 
 
 def _collect(
-    results: typing.Sequence[ReplicationResult],
+    results: typing.Sequence[Replication],
 ) -> typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]]:
     """Regroup ordered replication results into policy -> job -> samples."""
     collected: typing.Dict[str, typing.Dict[str, typing.List[JobMetrics]]] = {}
     for result in results:
-        for policy_name, jobs in result.items():
+        for policy_name, jobs in result.jobs.items():
             per_job = collected.setdefault(policy_name, {})
             for name, metrics in jobs.items():
                 per_job.setdefault(name, []).append(metrics)
@@ -152,13 +180,33 @@ def _collect(
 
 
 def _summaries_from(
-    results: typing.Sequence[ReplicationResult],
+    results: typing.Sequence[Replication],
 ) -> typing.Dict[str, typing.Dict[str, JobSummary]]:
     return {
         policy_name: {
             name: _summarize(name, samples) for name, samples in jobs.items()
         }
         for policy_name, jobs in _collect(results).items()
+    }
+
+
+def _merged_metrics(
+    results: typing.Sequence[Replication],
+) -> typing.Dict[str, dict]:
+    """Merge per-replication snapshots, policy by policy.
+
+    ``results`` is already in replication order (the parallel drivers
+    commit in order), and :meth:`MetricsRegistry.merged` folds snapshots
+    in the order given — so a ``workers=N`` comparison merges to exactly
+    the snapshot a serial run produces.
+    """
+    per_policy: typing.Dict[str, typing.List[dict]] = {}
+    for result in results:
+        for policy_name, snapshot in result.metrics.items():
+            per_policy.setdefault(policy_name, []).append(snapshot)
+    return {
+        name: MetricsRegistry.merged(snapshots)
+        for name, snapshots in per_policy.items()
     }
 
 
@@ -170,6 +218,7 @@ def compare_policies(
     n_processors: int = DEFAULT_PROCESSORS,
     machine: MachineSpec = SEQUENT_SYMMETRY,
     workers: typing.Optional[int] = None,
+    collect_metrics: bool = False,
 ) -> MixComparison:
     """Run ``mix`` under each policy for ``replications`` seeds.
 
@@ -177,18 +226,29 @@ def compare_policies(
     (common random numbers), following the paper's paired comparisons
     against Equipartition.  ``workers > 1`` fans the replications out over
     a process pool; each replication is deterministic in its seed, so the
-    result is identical to a serial run.
+    result is identical to a serial run.  ``collect_metrics`` attaches a
+    fresh registry to every run and merges the per-replication snapshots
+    (in replication order) into :attr:`MixComparison.metrics`.
     """
     if isinstance(mix, int):
         mix = MIXES[mix]
     if replications < 1:
         raise ValueError("need at least one replication")
     run_once = functools.partial(
-        _run_replication, mix, tuple(policies), base_seed, n_processors, machine
+        _run_replication,
+        mix,
+        tuple(policies),
+        base_seed,
+        n_processors,
+        machine,
+        collect_metrics,
     )
     results = map_replications(run_once, replications, workers=workers)
     return MixComparison(
-        mix=mix, n_replications=replications, summaries=_summaries_from(results)
+        mix=mix,
+        n_replications=replications,
+        summaries=_summaries_from(results),
+        metrics=_merged_metrics(results),
     )
 
 
@@ -209,11 +269,11 @@ def _summarize(name: str, samples: typing.List[JobMetrics]) -> JobSummary:
     )
 
 
-def _response_times(result: ReplicationResult) -> typing.Dict[str, float]:
+def _response_times(result: Replication) -> typing.Dict[str, float]:
     """Flatten one replication into the metrics the stopping rule tracks."""
     return {
         f"{policy_name}/{job_name}": metrics.response_time
-        for policy_name, jobs in result.items()
+        for policy_name, jobs in result.jobs.items()
         for job_name, metrics in jobs.items()
     }
 
@@ -229,6 +289,7 @@ def compare_policies_to_confidence(
     machine: MachineSpec = SEQUENT_SYMMETRY,
     workers: typing.Optional[int] = None,
     target_absolute: typing.Optional[float] = None,
+    collect_metrics: bool = False,
 ) -> MixComparison:
     """Run replications until the paper's confidence criterion is met.
 
@@ -257,13 +318,22 @@ def compare_policies_to_confidence(
     )
     check: BatchedConvergence = BatchedConvergence(_response_times, criterion)
     run_once = functools.partial(
-        _run_replication, mix, tuple(policies), base_seed, n_processors, machine
+        _run_replication,
+        mix,
+        tuple(policies),
+        base_seed,
+        n_processors,
+        machine,
+        collect_metrics,
     )
     results = run_replications(
         run_once, min_replications, max_replications, check, workers=workers
     )
     return MixComparison(
-        mix=mix, n_replications=len(results), summaries=_summaries_from(results)
+        mix=mix,
+        n_replications=len(results),
+        summaries=_summaries_from(results),
+        metrics=_merged_metrics(results),
     )
 
 

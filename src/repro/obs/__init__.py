@@ -1,0 +1,67 @@
+"""Observability: structured tracing, metrics, and trace-derived oracles.
+
+The subsystem has four pieces, layered so each consumes the one below:
+
+* :mod:`repro.obs.records` — typed, timestamped trace records;
+* :mod:`repro.obs.tracer` — collection (:class:`Tracer`) with a null
+  fast path (``tracer is None`` / :class:`NullTracer`) cheap enough to
+  leave compiled into every hot path;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with
+  deterministic, order-stable snapshots and merges;
+* :mod:`repro.obs.invariants` / :mod:`repro.obs.replay` — the payoff:
+  the trace replayed as a correctness oracle (simulator-wide invariants,
+  and aggregate reconstruction that must match the untraced run).
+"""
+
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_snapshot,
+)
+from repro.obs.records import (
+    AllocationChange,
+    CacheBatch,
+    CacheFlush,
+    Dispatch,
+    EngineEvent,
+    JobArrival,
+    JobDeparture,
+    PolicyDecision,
+    RECORD_KINDS,
+    RunConfig,
+    RunEnd,
+    TraceRecord,
+    Undispatch,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.obs.tracer import NullTracer, Tracer
+
+__all__ = [
+    "AllocationChange",
+    "CacheBatch",
+    "CacheFlush",
+    "Counter",
+    "Dispatch",
+    "EngineEvent",
+    "Gauge",
+    "Histogram",
+    "JobArrival",
+    "JobDeparture",
+    "MetricsRegistry",
+    "NullTracer",
+    "PolicyDecision",
+    "RECORD_KINDS",
+    "RunConfig",
+    "RunEnd",
+    "SNAPSHOT_SCHEMA",
+    "TraceRecord",
+    "Tracer",
+    "Undispatch",
+    "record_from_dict",
+    "record_to_dict",
+    "validate_snapshot",
+]

@@ -1,0 +1,284 @@
+"""Simulator-wide invariants, checked mechanically against a trace.
+
+The trace emitted by an instrumented run is a complete account of every
+allocation change, dispatch and policy decision.  That makes it a
+*correctness oracle*: instead of asserting on end-of-run aggregates, the
+checks here replay the record stream and verify that the scheduling
+system never violated its own rules at any instant:
+
+* **monotone clock** — record timestamps never decrease;
+* **allocation conservation** — every processor has at most one owner,
+  every ownership change's ``prev`` matches the replayed state (a grant
+  of an already-owned processor — the classic double-allocation bug —
+  fails here), cpu ids stay within the machine, and equipartition
+  targets never sum past the machine size;
+* **single placement** — no worker on two processors, no processor
+  running two workers, and every dispatch lands on a processor its job
+  owns at that instant;
+* **lifecycle** — jobs are granted processors only between arrival and
+  departure, departure response times equal the arrival/departure
+  timestamps, and the run ends with every processor free;
+* **priority order (Dyn-Aff)** — every priority dispatch picked the
+  most-deserving requester, every A.1 affinity grant passed the credit
+  gate, and every D.3 preemption was licensed by the credit scheme
+  (re-derived from the credits snapshotted in the decision record);
+* **cache accounting** — every charged reload penalty is non-negative
+  and bounded by the machine's full-cache reload cost (the footprint
+  model's hard cap), and cheap same-processor pickups charge nothing.
+
+``check_trace`` returns a list of human-readable violations (empty =
+clean); ``assert_trace_ok`` wraps it for tests.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.priority import CreditScheduler
+from repro.obs.records import (
+    AllocationChange,
+    Dispatch,
+    JobArrival,
+    JobDeparture,
+    PolicyDecision,
+    RunConfig,
+    RunEnd,
+    TraceRecord,
+    Undispatch,
+)
+
+#: slack for float comparisons on derived (not identical-operation) values
+_EPS = 1e-9
+
+
+class _State:
+    """Replayed simulator state while walking the record stream."""
+
+    def __init__(self) -> None:
+        self.config: typing.Optional[RunConfig] = None
+        self.owner: typing.Dict[int, str] = {}          # cpu -> owning job
+        self.placed: typing.Dict[typing.Tuple[str, int], int] = {}  # worker -> cpu
+        self.on_cpu: typing.Dict[int, typing.Tuple[str, int]] = {}  # cpu -> worker
+        self.arrived: typing.Dict[str, float] = {}
+        self.departed: typing.Set[str] = set()
+        self.last_time = float("-inf")
+
+
+def check_trace(records: typing.Iterable[TraceRecord]) -> typing.List[str]:
+    """Replay ``records`` and return every invariant violation found."""
+    state = _State()
+    violations: typing.List[str] = []
+    for index, record in enumerate(records):
+        where = f"[{index}] t={record.time:.9f} {record.kind}"
+
+        if record.time < state.last_time - _EPS:
+            violations.append(
+                f"{where}: clock ran backwards ({record.time} < {state.last_time})"
+            )
+        state.last_time = max(state.last_time, record.time)
+
+        if isinstance(record, RunConfig):
+            state.config = record
+        elif isinstance(record, JobArrival):
+            state.arrived[record.job] = record.time
+        elif isinstance(record, JobDeparture):
+            _check_departure(state, record, where, violations)
+        elif isinstance(record, AllocationChange):
+            _check_alloc(state, record, where, violations)
+        elif isinstance(record, Dispatch):
+            _check_dispatch(state, record, where, violations)
+        elif isinstance(record, Undispatch):
+            _check_undispatch(state, record, where, violations)
+        elif isinstance(record, PolicyDecision):
+            _check_decision(state, record, where, violations)
+        elif isinstance(record, RunEnd):
+            if state.owner:
+                violations.append(
+                    f"{where}: run ended with owned processors {sorted(state.owner)}"
+                )
+            if state.placed:
+                violations.append(
+                    f"{where}: run ended with placed workers {sorted(state.placed)}"
+                )
+    return violations
+
+
+def assert_trace_ok(records: typing.Iterable[TraceRecord]) -> None:
+    """Raise AssertionError listing every violation in ``records``."""
+    violations = check_trace(records)
+    if violations:
+        summary = "\n  ".join(violations[:20])
+        more = f"\n  ... and {len(violations) - 20} more" if len(violations) > 20 else ""
+        raise AssertionError(
+            f"{len(violations)} trace invariant violation(s):\n  {summary}{more}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# per-record checks
+
+
+def _check_departure(
+    state: _State, record: JobDeparture, where: str, violations: typing.List[str]
+) -> None:
+    arrival = state.arrived.get(record.job)
+    if arrival is None:
+        violations.append(f"{where}: job {record.job!r} departed without arriving")
+        return
+    if record.job in state.departed:
+        violations.append(f"{where}: job {record.job!r} departed twice")
+    state.departed.add(record.job)
+    expected = record.time - arrival
+    if record.response_time != expected:
+        violations.append(
+            f"{where}: job {record.job!r} reports response_time="
+            f"{record.response_time!r} but trace shows {expected!r}"
+        )
+
+
+def _check_alloc(
+    state: _State, record: AllocationChange, where: str, violations: typing.List[str]
+) -> None:
+    n_procs = state.config.n_processors if state.config else None
+    if n_procs is not None and not 0 <= record.cpu < n_procs:
+        violations.append(
+            f"{where}: cpu {record.cpu} outside machine of {n_procs} processors"
+        )
+    current = state.owner.get(record.cpu)
+    if current != record.prev:
+        violations.append(
+            f"{where}: cpu {record.cpu} owner is {current!r} but change "
+            f"claims prev={record.prev!r} (conservation violated)"
+        )
+    if record.job is None:
+        state.owner.pop(record.cpu, None)
+    else:
+        if current is not None and current != record.job:
+            violations.append(
+                f"{where}: cpu {record.cpu} granted to {record.job!r} while "
+                f"owned by {current!r} (double allocation)"
+            )
+        if record.job not in state.arrived:
+            violations.append(
+                f"{where}: cpu {record.cpu} granted to {record.job!r} "
+                "before its arrival"
+            )
+        if record.job in state.departed:
+            violations.append(
+                f"{where}: cpu {record.cpu} granted to departed job {record.job!r}"
+            )
+        state.owner[record.cpu] = record.job
+    if n_procs is not None and len(state.owner) > n_procs:
+        violations.append(
+            f"{where}: {len(state.owner)} processors owned on a "
+            f"{n_procs}-processor machine"
+        )
+
+
+def _check_dispatch(
+    state: _State, record: Dispatch, where: str, violations: typing.List[str]
+) -> None:
+    worker = (record.job, record.worker)
+    if state.owner.get(record.cpu) != record.job:
+        violations.append(
+            f"{where}: {record.job!r}#{record.worker} dispatched on cpu "
+            f"{record.cpu} owned by {state.owner.get(record.cpu)!r}"
+        )
+    if worker in state.placed:
+        violations.append(
+            f"{where}: worker {worker} already running on cpu "
+            f"{state.placed[worker]} (single placement violated)"
+        )
+    occupant = state.on_cpu.get(record.cpu)
+    if occupant is not None:
+        violations.append(
+            f"{where}: cpu {record.cpu} already running worker {occupant} "
+            "(single placement violated)"
+        )
+    state.placed[worker] = record.cpu
+    state.on_cpu[record.cpu] = worker
+
+    if record.penalty_s < 0:
+        violations.append(f"{where}: negative reload penalty {record.penalty_s}")
+    if state.config is not None:
+        cap = state.config.cache_lines * state.config.miss_time_s
+        if record.penalty_s > cap + _EPS:
+            violations.append(
+                f"{where}: reload penalty {record.penalty_s} exceeds the "
+                f"full-cache reload bound {cap} (occupancy accounting broken)"
+            )
+        if not record.cheap and record.switch_s != state.config.context_switch_s:
+            violations.append(
+                f"{where}: reallocation charged switch cost {record.switch_s}, "
+                f"machine path length is {state.config.context_switch_s}"
+            )
+    if record.cheap and (record.penalty_s != 0.0 or record.switch_s != 0.0):
+        violations.append(
+            f"{where}: cheap pickup charged penalty={record.penalty_s} "
+            f"switch={record.switch_s}"
+        )
+
+
+def _check_undispatch(
+    state: _State, record: Undispatch, where: str, violations: typing.List[str]
+) -> None:
+    worker = (record.job, record.worker)
+    if state.placed.get(worker) != record.cpu:
+        violations.append(
+            f"{where}: worker {worker} left cpu {record.cpu} but was on "
+            f"{state.placed.get(worker)!r}"
+        )
+    state.placed.pop(worker, None)
+    if state.on_cpu.get(record.cpu) == worker:
+        del state.on_cpu[record.cpu]
+
+
+def _check_decision(
+    state: _State, record: PolicyDecision, where: str, violations: typing.List[str]
+) -> None:
+    credits = dict(record.credits)
+    if record.rule == "priority" and record.job is not None and credits:
+        best = min(credits, key=lambda name: (-credits[name], name))
+        if record.job != best:
+            violations.append(
+                f"{where}: priority dispatch chose {record.job!r} but "
+                f"{best!r} is most deserving ({credits})"
+            )
+    elif record.rule == "A.1" and record.job is not None and credits:
+        mine = credits.get(record.job)
+        if mine is not None:
+            others = [v for name, v in credits.items() if name != record.job]
+            gate = max(others) - CreditScheduler.EQUALITY_TOLERANCE if others else None
+            if gate is not None and mine < gate - _EPS:
+                violations.append(
+                    f"{where}: A.1 grant to {record.job!r} (credit {mine}) "
+                    f"despite a more deserving requester ({credits})"
+                )
+    elif record.rule == "D.3" and record.job is not None:
+        allocations = dict(record.allocations)
+        victims = [name for name in allocations if name != record.job]
+        if len(victims) == 1:
+            victim = victims[0]
+            v_alloc = allocations[victim]
+            r_alloc = allocations[record.job]
+            if v_alloc <= 1:
+                violations.append(
+                    f"{where}: D.3 preempted {victim!r} holding only "
+                    f"{v_alloc} processor(s)"
+                )
+            elif v_alloc <= r_alloc + 1:
+                beyond = r_alloc - v_alloc + 2
+                needed = beyond * CreditScheduler.SPEND_MARGIN
+                advantage = credits.get(record.job, 0.0) - credits.get(victim, 0.0)
+                if advantage <= needed - _EPS:
+                    violations.append(
+                        f"{where}: D.3 beyond parity without the credit to "
+                        f"spend (advantage {advantage}, needed > {needed})"
+                    )
+    elif record.rule == "EQ" and state.config is not None:
+        total = sum(record.allocations.values())
+        if total > state.config.n_processors:
+            violations.append(
+                f"{where}: equipartition targets sum to {total} on a "
+                f"{state.config.n_processors}-processor machine"
+            )

@@ -1,0 +1,130 @@
+"""Rebuilding run aggregates from a trace.
+
+A trace is only trustworthy as an oracle if it is *complete*: the
+aggregates the untraced run reports must be derivable from the records
+alone.  :func:`replay` does that derivation — per-job response times from
+arrival/departure timestamps, reallocation counts from non-cheap
+dispatches, penalty totals from the charged costs — and
+:func:`verify_replay` checks the result against a
+:class:`~repro.core.system.SystemResult` exactly (response times are
+computed by the identical subtraction, so equality is bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.system import SystemResult
+from repro.obs.records import (
+    Dispatch,
+    JobArrival,
+    JobDeparture,
+    RunEnd,
+    TraceRecord,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayedJob:
+    """Aggregates for one job, rebuilt purely from trace records."""
+
+    name: str
+    response_time: float
+    n_reallocations: int
+    n_affine: int
+    cache_penalty_total: float
+    switch_overhead_total: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplaySummary:
+    """Everything :func:`replay` could rebuild from the record stream."""
+
+    jobs: typing.Dict[str, ReplayedJob]
+    makespan: typing.Optional[float]
+
+    def mean_response_time(self) -> float:
+        """Average replayed response time (the paper's primary metric)."""
+        if not self.jobs:
+            return 0.0
+        return sum(j.response_time for j in self.jobs.values()) / len(self.jobs)
+
+
+def replay(records: typing.Iterable[TraceRecord]) -> ReplaySummary:
+    """Derive per-job aggregates from ``records`` alone."""
+    arrivals: typing.Dict[str, float] = {}
+    departures: typing.Dict[str, float] = {}
+    reallocations: typing.Dict[str, int] = {}
+    affine: typing.Dict[str, int] = {}
+    penalties: typing.Dict[str, float] = {}
+    switches: typing.Dict[str, float] = {}
+    makespan: typing.Optional[float] = None
+    for record in records:
+        if isinstance(record, JobArrival):
+            arrivals[record.job] = record.time
+        elif isinstance(record, JobDeparture):
+            departures[record.job] = record.time
+        elif isinstance(record, Dispatch):
+            if not record.cheap:
+                reallocations[record.job] = reallocations.get(record.job, 0) + 1
+                if record.affine:
+                    affine[record.job] = affine.get(record.job, 0) + 1
+                penalties[record.job] = penalties.get(record.job, 0.0) + record.penalty_s
+                switches[record.job] = switches.get(record.job, 0.0) + record.switch_s
+        elif isinstance(record, RunEnd):
+            makespan = record.makespan
+    jobs = {
+        name: ReplayedJob(
+            name=name,
+            response_time=departures[name] - arrivals[name],
+            n_reallocations=reallocations.get(name, 0),
+            n_affine=affine.get(name, 0),
+            cache_penalty_total=penalties.get(name, 0.0),
+            switch_overhead_total=switches.get(name, 0.0),
+        )
+        for name in departures
+        if name in arrivals
+    }
+    return ReplaySummary(jobs=jobs, makespan=makespan)
+
+
+def verify_replay(
+    records: typing.Iterable[TraceRecord], result: SystemResult
+) -> typing.List[str]:
+    """Compare a replayed trace against the run's own result.
+
+    Response times and reallocation counts must match *exactly* (they are
+    computed by identical operations on identical values); penalty totals
+    are compared within float-summation slack, since the run accumulates
+    them in a different order than the replay and may refund a partially
+    consumed charge on preemption.
+
+    Returns:
+        A list of mismatch descriptions (empty = the trace is complete).
+    """
+    summary = replay(records)
+    problems: typing.List[str] = []
+    for name, metrics in result.jobs.items():
+        replayed = summary.jobs.get(name)
+        if replayed is None:
+            problems.append(f"job {name!r} finished but never departed in the trace")
+            continue
+        if replayed.response_time != metrics.response_time:
+            problems.append(
+                f"job {name!r}: replayed response time {replayed.response_time!r} "
+                f"!= reported {metrics.response_time!r}"
+            )
+        if replayed.n_reallocations != metrics.n_reallocations:
+            problems.append(
+                f"job {name!r}: replayed {replayed.n_reallocations} reallocations "
+                f"!= reported {metrics.n_reallocations}"
+            )
+    extra = set(summary.jobs) - set(result.jobs)
+    if extra:
+        problems.append(f"trace contains unreported jobs {sorted(extra)}")
+    if summary.makespan is not None and summary.makespan != result.makespan:
+        problems.append(
+            f"replayed makespan {summary.makespan!r} != reported {result.makespan!r}"
+        )
+    return problems

@@ -1,0 +1,79 @@
+"""Trace collection with a null fast path.
+
+Instrumented code holds an optional tracer and guards every emission with
+the two-step check::
+
+    tr = self.tracer
+    if tr is not None and tr.enabled:
+        tr.emit(SomeRecord(...))
+
+so that when tracing is off (``tracer is None``, the default everywhere)
+the cost is a single attribute load and branch — and, crucially, the
+record is *never constructed*.  :class:`NullTracer` exists for call sites
+that want an always-present tracer object (``enabled`` is False, so the
+same guard skips construction); attaching it must stay within the
+benchmarked overhead budget (see ``test_tracer_disabled_overhead`` in
+``benchmarks/bench_simulator_performance.py``).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.records import EngineEvent, TraceRecord
+
+
+class Tracer:
+    """Collects trace records in memory, in emission order.
+
+    Args:
+        capture_engine_events: also record every fired discrete event
+            (one :class:`~repro.obs.records.EngineEvent` per event —
+            verbose; useful for debugging event-ordering questions).
+    """
+
+    #: guard checked by instrumented code before constructing a record
+    enabled: bool = True
+
+    def __init__(self, capture_engine_events: bool = False) -> None:
+        self.capture_engine_events = capture_engine_events
+        self.records: typing.List[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def engine_hook(self, time: float, label: str) -> None:
+        """Adapter for :meth:`repro.engine.simulator.Simulator.add_trace_hook`."""
+        self.records.append(EngineEvent(time=time, label=label))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> typing.Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"Tracer(records={len(self.records)})"
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing and costs (almost) nothing.
+
+    ``enabled`` is False, so guarded call sites skip record construction;
+    ``emit`` is a no-op for anything that calls it unconditionally.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capture_engine_events=False)
+
+    def emit(self, record: TraceRecord) -> None:
+        pass
+
+    def engine_hook(self, time: float, label: str) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTracer()"

@@ -1,0 +1,76 @@
+"""Exporters for the observability layer.
+
+Two formats, both deterministic byte-for-byte for a given input:
+
+* **JSONL traces** — one record per line, keys sorted, newline
+  terminated; ``trace_from_jsonl`` round-trips the stream back into
+  typed records (which is what lets a written trace be replayed as a
+  correctness oracle later, or on another machine);
+* **metrics snapshots** — the :meth:`MetricsRegistry.snapshot` dict as
+  key-sorted JSON, or flattened to key-sorted CSV rows.
+
+Every export is validated before serialization, so a malformed snapshot
+fails loudly at the producer rather than silently downstream.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.metrics import validate_snapshot
+from repro.obs.records import TraceRecord, record_from_dict, record_to_dict
+from repro.reporting.export import rows_to_csv
+
+
+def trace_to_jsonl(records: typing.Iterable[TraceRecord]) -> str:
+    """Serialize records as JSON Lines (sorted keys, newline terminated)."""
+    lines = [json.dumps(record_to_dict(r), sort_keys=True) for r in records]
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str) -> typing.List[TraceRecord]:
+    """Parse a JSONL trace back into typed records.
+
+    Raises:
+        ValueError: on an unknown record kind or malformed line.
+    """
+    records: typing.List[TraceRecord] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {i} is not valid JSON: {exc}") from exc
+        records.append(record_from_dict(payload))
+    return records
+
+
+def snapshot_to_json(snapshot: typing.Mapping[str, typing.Any]) -> str:
+    """A metrics snapshot as key-sorted, newline-terminated JSON."""
+    validate_snapshot(snapshot)
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def snapshot_to_csv(snapshot: typing.Mapping[str, typing.Any]) -> str:
+    """Flatten a metrics snapshot to key-sorted CSV.
+
+    One row per scalar: counters and gauges directly, histograms as
+    their ``count``/``sum``/``min``/``max``/``mean`` summary fields.
+    """
+    validate_snapshot(snapshot)
+    rows: typing.List[typing.Sequence[object]] = []
+    for name, value in sorted(snapshot["counters"].items()):
+        rows.append(["counter", name, "value", value])
+    for name, value in sorted(snapshot["gauges"].items()):
+        rows.append(["gauge", name, "value", value])
+    for name, data in sorted(snapshot["histograms"].items()):
+        count = data["count"]
+        mean = data["sum"] / count if count else 0.0
+        for field in ("count", "sum", "min", "max"):
+            rows.append(["histogram", name, field, data[field]])
+        rows.append(["histogram", name, "mean", mean])
+    return rows_to_csv(["section", "name", "field", "value"], rows)

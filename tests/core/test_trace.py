@@ -53,6 +53,38 @@ class TestSegments:
         with pytest.raises(ValueError):
             self.make_trace().render_gantt(width=5)
 
+    def test_unknown_cpu_yields_no_segments_and_no_owner(self):
+        trace = self.make_trace()
+        assert trace.segments(99) == []
+        assert trace.owner_at(99, 1.0) is None
+
+    def test_allocation_of_unknown_job_is_zero(self):
+        assert self.make_trace().allocation_of("nobody", 1.0) == 0
+
+    def test_finish_never_rewinds_end_time(self):
+        trace = self.make_trace()
+        trace.finish(2.0)  # earlier than the last recorded event
+        assert trace.end_time == 10.0
+
+    def test_gantt_blank_cells_before_first_event(self):
+        """A processor whose first event is late renders leading blanks."""
+        trace = AllocationTrace()
+        trace.record(8.0, 0, "A")
+        trace.finish(10.0)
+        row = trace.render_gantt(width=10).splitlines()[0]
+        cells = row.split("|")[1]
+        assert cells.startswith(" ") and cells.endswith("A")
+
+    def test_zero_length_intervals_dropped(self):
+        trace = AllocationTrace()
+        trace.record(1.0, 0, "A")
+        trace.record(1.0, 0, None)  # instantaneous ownership
+        trace.record(1.0, 0, "B")
+        trace.finish(2.0)
+        assert [(s.start, s.end, s.job) for s in trace.segments(0)] == [
+            (1.0, 2.0, "B")
+        ]
+
 
 class TestSystemIntegration:
     def test_trace_records_real_run(self):

@@ -1,0 +1,94 @@
+"""Export formats: JSONL round trip, golden files, sorting, termination."""
+
+import json
+import pathlib
+
+from repro.reporting.obs_export import (
+    snapshot_to_csv,
+    snapshot_to_json,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from tests.obs.golden_run import golden_run
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+class TestJsonlTrace:
+    def test_round_trip_preserves_every_record(self):
+        records, _ = golden_run()
+        assert trace_from_jsonl(trace_to_jsonl(records)) == list(records)
+
+    def test_lines_are_key_sorted(self):
+        records, _ = golden_run()
+        for line in trace_to_jsonl(records).splitlines():
+            keys = list(json.loads(line))
+            assert keys == sorted(keys)
+
+    def test_newline_terminated(self):
+        records, _ = golden_run()
+        assert trace_to_jsonl(records).endswith("\n")
+        assert trace_to_jsonl([]) == ""
+
+    def test_blank_lines_skipped_bad_json_rejected(self):
+        records, _ = golden_run()
+        text = trace_to_jsonl(records) + "\n"
+        assert len(trace_from_jsonl(text)) == len(records)
+        try:
+            trace_from_jsonl("not json\n")
+        except ValueError as exc:
+            assert "line 1" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestSnapshotExports:
+    def test_json_key_sorted_and_terminated(self):
+        _, snapshot = golden_run()
+        text = snapshot_to_json(snapshot)
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(json.dumps(snapshot, sort_keys=True))
+        names = list(json.loads(text)["counters"])
+        assert names == sorted(names)
+
+    def test_csv_key_sorted_and_terminated(self):
+        _, snapshot = golden_run()
+        text = snapshot_to_csv(snapshot)
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines[0] == "section,name,field,value"
+        counter_names = [l.split(",")[1] for l in lines if l.startswith("counter,")]
+        assert counter_names == sorted(counter_names)
+
+
+class TestGoldenFiles:
+    """Byte-for-byte stability of the exports on the canonical tiny run.
+
+    If a change intentionally alters trace content or export format,
+    regenerate with ``PYTHONPATH=src python tests/obs/golden_run.py`` and
+    review the diff.
+    """
+
+    def test_trace_jsonl_matches_golden(self):
+        records, _ = golden_run()
+        assert trace_to_jsonl(records) == (GOLDEN / "trace.jsonl").read_text(
+            encoding="utf-8"
+        )
+
+    def test_metrics_json_matches_golden(self):
+        _, snapshot = golden_run()
+        assert snapshot_to_json(snapshot) == (GOLDEN / "metrics.json").read_text(
+            encoding="utf-8"
+        )
+
+    def test_metrics_csv_matches_golden(self):
+        _, snapshot = golden_run()
+        assert snapshot_to_csv(snapshot) == (GOLDEN / "metrics.csv").read_text(
+            encoding="utf-8"
+        )
+
+    def test_golden_trace_is_diff_friendly(self):
+        """One record per line, every line a flat JSON object."""
+        for line in (GOLDEN / "trace.jsonl").read_text().splitlines():
+            payload = json.loads(line)
+            assert isinstance(payload, dict) and "kind" in payload

@@ -24,6 +24,23 @@ class TestAddBarrier:
         barrier = add_barrier(g, phase)
         assert g.service_time(barrier) == 0.0
 
+    def test_barrier_phase_label_recorded(self):
+        g = ThreadGraph()
+        phase = [g.add_thread(1.0)]
+        barrier = add_barrier(g, phase, phase="sync/step-3")
+        assert g.node(barrier).phase == "sync/step-3"
+
+    def test_barrier_with_no_predecessors_is_immediately_ready(self):
+        g = ThreadGraph()
+        barrier = add_barrier(g, [])
+        assert barrier in g.initially_ready()
+
+    def test_nonzero_service_barrier_adds_work(self):
+        g = ThreadGraph()
+        phase = [g.add_thread(1.0) for _ in range(2)]
+        add_barrier(g, phase, service_time=0.25)
+        assert g.total_work() == pytest.approx(2.25)
+
     def test_barrier_drops_parallelism_to_one(self):
         """The paper: 'parallelism decreases briefly to one' at barriers."""
         g = ThreadGraph()
