@@ -136,6 +136,47 @@ def test_tracer_disabled_overhead():
     assert ratio <= 1.05, f"disabled tracer costs {ratio:.4f}x (budget 1.05x)"
 
 
+def test_profiler_disabled_overhead():
+    """CI guard: a disabled profiler must cost <5% on the cache hot path.
+
+    Mirrors ``test_tracer_disabled_overhead`` for the span profiler: the
+    instrumented ``access_batch`` guard is one attribute load and branch
+    per batch when the attached profiler reports ``enabled == False``, so
+    a :class:`NullSpanProfiler`-attached cache must time within noise of
+    a bare one on the same 100k-access benchmark.
+    """
+    from repro.obs.profiling import NullSpanProfiler
+
+    blocks = [(i * 7) % 6000 for i in range(100_000)]
+    chunks = [
+        blocks[i : i + DEFAULT_CHUNK] for i in range(0, len(blocks), DEFAULT_CHUNK)
+    ]
+
+    def best_of(cache, rounds=7):
+        access_batch = cache.access_batch
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for chunk in chunks:
+                access_batch("t", chunk)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    bare = SetAssociativeCache(SEQUENT_SYMMETRY)
+    nulled = SetAssociativeCache(SEQUENT_SYMMETRY)
+    nulled.attach_profiler(NullSpanProfiler())
+
+    base_s = best_of(bare)
+    null_s = best_of(nulled)
+    ratio = null_s / base_s if base_s else float("inf")
+    print(
+        f"\ndisabled-profiler overhead on 100k batched cache accesses: "
+        f"bare {base_s * 1e3:.2f}ms, NullSpanProfiler {null_s * 1e3:.2f}ms, "
+        f"ratio {ratio:.4f}x"
+    )
+    assert ratio <= 1.05, f"disabled profiler costs {ratio:.4f}x (budget 1.05x)"
+
+
 def test_reference_generator_throughput(benchmark):
     """100k touches from the batched reference-stream generator."""
     gen = ReferenceGenerator(

@@ -12,12 +12,17 @@ Usage::
     python -m repro section8                # time-sharing contrast
     python -m repro hierarchy               # Section 7.2 sqrt-memory law
     python -m repro trace [--mix K] [--policy P] [--out F]  # JSONL trace
+    python -m repro analyze TRACE [--window S]  # attribution + interval series
+    python -m repro diff TRACE_A TRACE_B        # why do two runs differ?
     python -m repro all                     # everything (slow)
 
 The replication-based experiments accept ``--metrics``: the run is
 instrumented with a metrics registry and the merged snapshot is printed
 as key-sorted JSON after the experiment's own output, preceded by a
-``=== metrics`` marker line.
+``=== metrics`` marker line.  ``--analyze`` additionally runs one traced
+replication per policy and prints its exact time-attribution tables
+(after ``=== analysis ===``); ``--profile`` collects a wall-clock
+self-profile of the simulator and prints it after ``=== profile ===``.
 """
 
 from __future__ import annotations
@@ -62,6 +67,10 @@ _POLICY_BY_NAME = {p.name: p for p in _ALL_POLICIES}
 #: Marker line preceding a JSON metrics snapshot on stdout (tests and
 #: scripts split on it to find the machine-readable part).
 METRICS_MARKER = "=== metrics ==="
+#: Marker line preceding per-policy time-attribution output (--analyze).
+ANALYSIS_MARKER = "=== analysis ==="
+#: Marker line preceding a simulator self-profile table (--profile).
+PROFILE_MARKER = "=== profile ==="
 
 
 def _print_snapshot(snapshot: typing.Mapping[str, typing.Any], label: str = "") -> None:
@@ -74,6 +83,51 @@ def _print_snapshot(snapshot: typing.Mapping[str, typing.Any], label: str = "") 
 def _print_comparison_metrics(comparison) -> None:
     for policy in sorted(comparison.metrics):
         _print_snapshot(comparison.metrics[policy], label=policy)
+
+
+def _print_profile(snapshot: typing.Mapping[str, typing.Any], label: str = "") -> None:
+    from repro.reporting.analysis_report import render_profile_table
+
+    print(PROFILE_MARKER + (f" {label}" if label else ""))
+    print(render_profile_table(snapshot))
+
+
+def _print_comparison_profiles(comparison) -> None:
+    for policy in sorted(comparison.profiles):
+        _print_profile(comparison.profiles[policy], label=policy)
+
+
+def _print_analysis(
+    mix_ids: typing.Sequence[int],
+    policies: typing.Sequence[typing.Any],
+    seed: int,
+) -> None:
+    """Run one traced replication per (mix, policy) and print attributions.
+
+    The conservation laws are checked on the spot; a violation exits
+    non-zero, because an attribution that does not conserve is wrong by
+    construction and must never ship as an explanation.
+    """
+    from repro.obs import Tracer
+    from repro.obs.analysis import attribute_time
+    from repro.reporting.analysis_report import render_attribution_table
+
+    for mix_id in mix_ids:
+        for policy in policies:
+            tracer = Tracer()
+            run_mix(mix_id, policy, seed=seed, tracer=tracer)
+            attribution = attribute_time(tracer.records)
+            errors = attribution.conservation_errors()
+            print(f"{ANALYSIS_MARKER} mix {mix_id} {policy.name}")
+            print(render_attribution_table(attribution))
+            if errors:
+                print("CONSERVATION VIOLATED:")
+                for message in errors:
+                    print(f"  {message}")
+                raise SystemExit(1)
+            print("conservation: exact (buckets sum to makespan x P "
+                  "and to per-job response times)")
+            print()
 
 
 def _scale_arg(value: str) -> int:
@@ -101,12 +155,21 @@ def cmd_table1(args: argparse.Namespace) -> None:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    experiment = PenaltyExperiment(scale=args.scale, seed=args.seed, metrics=registry)
+    profiler = None
+    if getattr(args, "profile", False):
+        from repro.obs.profiling import SpanProfiler
+
+        profiler = SpanProfiler()
+    experiment = PenaltyExperiment(
+        scale=args.scale, seed=args.seed, metrics=registry, profiler=profiler
+    )
     apps = [APPLICATIONS[n] for n in ("MATRIX", "MVA", "GRAVITY")]
     table = experiment.table1(apps)
     print(render_table1(table))
     if registry is not None:
         _print_snapshot(registry.snapshot())
+    if profiler is not None:
+        _print_profile(profiler.snapshot())
 
 
 def _mix_ids(args: argparse.Namespace) -> typing.List[int]:
@@ -124,12 +187,18 @@ def cmd_fig5(args: argparse.Namespace) -> None:
             base_seed=args.seed,
             workers=getattr(args, "workers", None),
             collect_metrics=getattr(args, "metrics", False),
+            collect_profile=getattr(args, "profile", False),
         )
         print(render_relative_rt_table(comparison))
         print()
         print(render_table3(comparison))
         print()
         _print_comparison_metrics(comparison)
+        _print_comparison_profiles(comparison)
+        if getattr(args, "analyze", False):
+            _print_analysis(
+                [mix_id], (EQUIPARTITION,) + _DYNAMIC_POLICIES, args.seed
+            )
         if args.csv:
             for policy in comparison.policies():
                 for job, summary in comparison.summaries[policy].items():
@@ -166,10 +235,14 @@ def cmd_fig6(args: argparse.Namespace) -> None:
             base_seed=args.seed,
             workers=getattr(args, "workers", None),
             collect_metrics=getattr(args, "metrics", False),
+            collect_profile=getattr(args, "profile", False),
         )
         print(render_relative_rt_table(comparison))
         print()
         _print_comparison_metrics(comparison)
+        _print_comparison_profiles(comparison)
+        if getattr(args, "analyze", False):
+            _print_analysis([mix_id], (EQUIPARTITION, DYN_AFF_NOPRI), args.seed)
 
 
 def cmd_table4(args: argparse.Namespace) -> None:
@@ -179,6 +252,11 @@ def cmd_table4(args: argparse.Namespace) -> None:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    profiler = None
+    if getattr(args, "profile", False):
+        from repro.obs.profiling import SpanProfiler
+
+        profiler = SpanProfiler()
     results: typing.Dict[int, typing.Dict[str, float]] = {}
     for mix_id in (1, 4):
         results[mix_id] = {}
@@ -186,12 +264,17 @@ def cmd_table4(args: argparse.Namespace) -> None:
             total = 0.0
             for r in range(args.replications):
                 total += run_mix(
-                    mix_id, policy, seed=args.seed + r, metrics=registry
+                    mix_id, policy, seed=args.seed + r,
+                    metrics=registry, profiler=profiler,
                 ).mean_response_time()
             results[mix_id][policy.name] = total / args.replications
     print(render_table4(results))
     if registry is not None:
         _print_snapshot(registry.snapshot())
+    if profiler is not None:
+        _print_profile(profiler.snapshot())
+    if getattr(args, "analyze", False):
+        _print_analysis([1, 4], (DYN_AFF, DYN_AFF_NOPRI), args.seed)
 
 
 def cmd_future(args: argparse.Namespace) -> None:
@@ -332,6 +415,98 @@ def cmd_trace(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_analyze(args: argparse.Namespace) -> None:
+    """Time attribution + interval series (+ timeline) for a trace file.
+
+    Refuses truncated or incomplete artifacts with a clear error and a
+    non-zero exit; exits non-zero too if the attribution fails its own
+    conservation laws (an explanation that does not add up must never be
+    shipped).
+    """
+    from repro.obs.analysis import attribute_time, interval_series
+    from repro.reporting.analysis_report import (
+        render_attribution_table,
+        render_interval_series,
+    )
+    from repro.reporting.obs_export import (
+        TraceStreamError,
+        attribution_to_csv,
+        attribution_to_json,
+        intervals_to_csv,
+        intervals_to_json,
+        load_trace,
+    )
+    from repro.reporting.timeline import render_cpu_timeline
+
+    try:
+        records = load_trace(args.trace)
+    except TraceStreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    attribution = attribute_time(records)
+    errors = attribution.conservation_errors()
+    print(render_attribution_table(attribution))
+    if errors:
+        print("CONSERVATION VIOLATED:")
+        for message in errors:
+            print(f"  {message}")
+        raise SystemExit(1)
+    print("conservation: exact (buckets sum to makespan x P and to "
+          "per-job response times)")
+    window = args.window
+    if window is None:
+        # Default: ~20 windows across the run.
+        span = float(attribution.makespan - attribution.t0)
+        window = max(span / 20, 1e-9)
+    series = interval_series(records, window_s=window)
+    print()
+    print(render_interval_series(series))
+    if args.timeline:
+        print()
+        print(render_cpu_timeline(records, width=args.timeline_width))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(attribution_to_json(attribution))
+        print(f"wrote attribution JSON to {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(attribution_to_csv(attribution))
+        print(f"wrote attribution CSV to {args.csv}")
+    if args.intervals_json:
+        with open(args.intervals_json, "w", encoding="utf-8") as handle:
+            handle.write(intervals_to_json(series))
+        print(f"wrote interval series JSON to {args.intervals_json}")
+    if args.intervals_csv:
+        with open(args.intervals_csv, "w", encoding="utf-8") as handle:
+            handle.write(intervals_to_csv(series))
+        print(f"wrote interval series CSV to {args.intervals_csv}")
+
+
+def cmd_diff(args: argparse.Namespace) -> None:
+    """Align two traces and explain where their response times diverge."""
+    from repro.obs.analysis import diff_traces
+    from repro.reporting.analysis_report import render_diff_report
+    from repro.reporting.obs_export import TraceStreamError, diff_to_json, load_trace
+
+    try:
+        trace_a = load_trace(args.trace_a)
+        trace_b = load_trace(args.trace_b)
+    except TraceStreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    diff = diff_traces(
+        trace_a,
+        trace_b,
+        label_a=args.label_a or args.trace_a,
+        label_b=args.label_b or args.trace_b,
+    )
+    print(render_diff_report(diff))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(diff_to_json(diff))
+        print(f"wrote diff JSON to {args.json}")
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     """Every experiment in paper order."""
     cmd_apps(args)
@@ -369,6 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print a JSON metrics snapshot after the table",
     )
+    p_t1.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock simulator self-profile after the table",
+    )
     p_t1.set_defaults(func=cmd_table1)
 
     for name, func, help_text in (
@@ -390,6 +569,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics", action="store_true",
             help="print per-policy JSON metrics snapshots after the tables",
         )
+        if name in ("fig5", "fig6"):
+            p.add_argument(
+                "--analyze", action="store_true",
+                help=(
+                    "run one traced replication per policy and print its "
+                    "exact time-attribution tables"
+                ),
+            )
+            p.add_argument(
+                "--profile", action="store_true",
+                help="collect and print per-policy simulator self-profiles",
+            )
         if name == "fig5":
             p.add_argument("--csv", type=str, default=None,
                            help="also write per-job metrics to this CSV file")
@@ -400,6 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_t4.add_argument(
         "--metrics", action="store_true",
         help="print a JSON metrics snapshot after the table",
+    )
+    p_t4.add_argument(
+        "--analyze", action="store_true",
+        help="print exact time-attribution tables for one traced run per policy",
+    )
+    p_t4.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock simulator self-profile after the table",
     )
     p_t4.set_defaults(func=cmd_table4)
 
@@ -434,6 +633,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="include every engine event firing in the trace (verbose)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="time attribution + interval series for a JSONL trace",
+    )
+    p_an.add_argument("trace", type=str, help="JSONL trace file (from `repro trace`)")
+    p_an.add_argument(
+        "--window", type=float, default=None, metavar="S",
+        help="interval-series window in virtual seconds (default: span/20)",
+    )
+    p_an.add_argument(
+        "--timeline", action="store_true",
+        help="also render the ASCII per-CPU timeline",
+    )
+    p_an.add_argument(
+        "--timeline-width", type=int, default=80, metavar="COLS",
+        help="timeline width in columns (default: 80)",
+    )
+    p_an.add_argument("--json", type=str, default=None,
+                      help="write the attribution as JSON to this file")
+    p_an.add_argument("--csv", type=str, default=None,
+                      help="write the attribution as CSV to this file")
+    p_an.add_argument("--intervals-json", type=str, default=None,
+                      help="write the interval series as JSON to this file")
+    p_an.add_argument("--intervals-csv", type=str, default=None,
+                      help="write the interval series as CSV to this file")
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_diff = sub.add_parser(
+        "diff", help="align two traces and explain their response-time gap"
+    )
+    p_diff.add_argument("trace_a", type=str, help="baseline JSONL trace (A)")
+    p_diff.add_argument("trace_b", type=str, help="comparison JSONL trace (B)")
+    p_diff.add_argument("--label-a", type=str, default=None)
+    p_diff.add_argument("--label-b", type=str, default=None)
+    p_diff.add_argument("--json", type=str, default=None,
+                        help="write the diff as JSON to this file")
+    p_diff.set_defaults(func=cmd_diff)
 
     p_all = sub.add_parser("all", help="run every experiment (slow)")
     p_all.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)

@@ -164,6 +164,24 @@ class Allocator:
     def _credit_snapshot(self, jobs: typing.Iterable[Job]) -> typing.Dict[str, float]:
         return {job.name: self.credit.credit(job) for job in jobs}
 
+    def _profiled(
+        self, span: str, call: typing.Callable[[], None]
+    ) -> None:
+        """Run one decision entry point under a ``policy/*`` span.
+
+        Mirrors the tracer guard: without an enabled profiler the cost is
+        one attribute load and branch per decision, no clock reads.
+        """
+        prof = self.system.profiler
+        if prof is None or not prof.enabled:  # type: ignore[attr-defined]
+            call()
+            return
+        prof.push(span)  # type: ignore[attr-defined]
+        try:
+            call()
+        finally:
+            prof.pop()  # type: ignore[attr-defined]
+
     # ------------------------------------------------------------------ #
     # job lifecycle
 
@@ -213,6 +231,9 @@ class Allocator:
         arrival and completion, so in the workload mixes (simultaneous
         arrival at t = 0) it runs a handful of times per experiment.
         """
+        self._profiled("policy/rebalance", self._rebalance_impl)
+
+    def _rebalance_impl(self) -> None:
         targets = self.equipartition_targets()
         self._emit_decision(
             "EQ",
@@ -248,6 +269,12 @@ class Allocator:
         """A processor became free: apply rule A.1, then priority dispatch."""
         if self.policy.is_equipartition:
             return  # equipartition never reacts to availability mid-run
+        self._profiled(
+            "policy/processor_available",
+            lambda: self._processor_available_impl(proc),
+        )
+
+    def _processor_available_impl(self, proc: ProcessorRecord) -> None:
         if not proc.is_free:
             raise RuntimeError(f"processor {proc.cpu_id} is not free")
         requesting = self.requesters()
@@ -310,6 +337,9 @@ class Allocator:
         """``job`` has new runnable work: apply rules D.1, D.2, D.3 / A.2."""
         if self.policy.is_equipartition:
             return  # its processors were already used by the system
+        self._profiled("policy/new_work", lambda: self._new_work_impl(job))
+
+    def _new_work_impl(self, job: Job) -> None:
         while True:
             want = job.additional_request(self.allocation(job))
             if want <= 0:

@@ -116,6 +116,7 @@ class SchedulingSystem:
         footprint_model: typing.Optional[object] = None,
         tracer: typing.Optional[Tracer] = None,
         metrics: typing.Optional[MetricsRegistry] = None,
+        profiler: typing.Optional[object] = None,
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job")
@@ -155,7 +156,12 @@ class SchedulingSystem:
         #: single attribute load and branch.
         self.tracer = tracer
         self.metrics = metrics
+        #: optional wall-clock span profiler (see repro.obs.profiling);
+        #: the allocator reads it for policy/* spans, the simulator for
+        #: the engine/* spans.
+        self.profiler = profiler
         self.sim.attach_tracer(tracer)
+        self.sim.attach_profiler(profiler)
 
     # ------------------------------------------------------------------ #
     # public API

@@ -31,6 +31,7 @@ class Simulator:
         self._events_fired = 0
         self._running = False
         self._stopped = False
+        self._profiler: typing.Optional[object] = None
 
     @property
     def now(self) -> float:
@@ -60,6 +61,18 @@ class Simulator:
             and getattr(tracer, "capture_engine_events", False)
         ):
             self.add_trace_hook(tracer.engine_hook)  # type: ignore[attr-defined]
+
+    def attach_profiler(self, profiler: typing.Optional[object]) -> None:
+        """Wire a :class:`repro.obs.profiling.SpanProfiler` into the loop.
+
+        When an enabled profiler is attached, :meth:`run` wraps the whole
+        loop in an ``engine/run`` span and each fired event in an
+        ``engine/<label-prefix>`` span (the label up to the first ``:``,
+        so ``slice:GRAVITY`` aggregates under ``engine/slice``).  With no
+        profiler — or a :class:`~repro.obs.profiling.NullSpanProfiler` —
+        the run loop's only extra cost is one check per :meth:`run` call.
+        """
+        self._profiler = profiler
 
     def schedule(
         self,
@@ -147,6 +160,10 @@ class Simulator:
         self._stopped = False
         fired_this_run = 0
         limited = False
+        prof = self._profiler
+        profiling = prof is not None and prof.enabled  # type: ignore[attr-defined]
+        if profiling:
+            prof.push("engine/run")  # type: ignore[attr-defined]
         try:
             while self.queue and not self._stopped:
                 next_time = self.queue.peek_time()
@@ -161,7 +178,16 @@ class Simulator:
                 fired_this_run += 1
                 for hook in self._trace_hooks:
                     hook(event.time, event.label)
-                event.action()
+                if profiling:
+                    # Aggregate per label family: "slice:GRAVITY" and
+                    # "slice:MATRIX" both land in "engine/slice".
+                    prof.push("engine/" + (event.label.split(":", 1)[0] or "event"))  # type: ignore[attr-defined]
+                    try:
+                        event.action()
+                    finally:
+                        prof.pop()  # type: ignore[attr-defined]
+                else:
+                    event.action()
                 if max_events is not None and fired_this_run >= max_events:
                     limited = True
                     break
@@ -173,6 +199,8 @@ class Simulator:
                 self.clock.advance_to(until)
             return self.now
         finally:
+            if profiling:
+                prof.pop()  # type: ignore[attr-defined]
             self._running = False
 
     def __repr__(self) -> str:

@@ -121,6 +121,17 @@ class SetAssociativeCache:
         self._tracer: typing.Optional[object] = None
         self._trace_cpu = 0
         self._trace_clock: typing.Optional[typing.Callable[[], float]] = None
+        # Self-profiling: same cost discipline as the tracer — one
+        # attribute load + branch per batch when no profiler is attached.
+        self._profiler: typing.Optional[object] = None
+
+    def attach_profiler(self, profiler: typing.Optional[object]) -> None:
+        """Time ``access_batch`` calls with a span profiler (None detaches).
+
+        The span is ``cache/access_batch``; see
+        :mod:`repro.obs.profiling`.
+        """
+        self._profiler = profiler
 
     def attach_tracer(
         self,
@@ -164,6 +175,10 @@ class SetAssociativeCache:
         Returns:
             The number of hits (misses are ``len(blocks) - hits``).
         """
+        prof = self._profiler
+        profiling = prof is not None and prof.enabled  # type: ignore[attr-defined]
+        if profiling:
+            prof.push("cache/access_batch")  # type: ignore[attr-defined]
         oid = self._owner_ids.get(owner)
         if oid is None:
             oid = self._intern(owner)
@@ -225,6 +240,8 @@ class SetAssociativeCache:
                     hits=hits,
                 )
             )
+        if profiling:
+            prof.pop()  # type: ignore[attr-defined]
         return hits
 
     # -- queries -------------------------------------------------------- #

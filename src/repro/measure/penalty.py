@@ -125,6 +125,7 @@ class PenaltyExperiment:
         seed: int = 0,
         tracer: typing.Optional[object] = None,
         metrics: typing.Optional[object] = None,
+        profiler: typing.Optional[object] = None,
     ) -> None:
         if n_switches_target < 2:
             raise ValueError("need at least 2 switches for a measurement")
@@ -135,6 +136,7 @@ class PenaltyExperiment:
         self.seed = seed
         self.tracer = tracer
         self.metrics = metrics
+        self.profiler = profiler
 
     # ------------------------------------------------------------------ #
 
@@ -164,6 +166,11 @@ class PenaltyExperiment:
             partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
 
         proc = Processor(0, self.machine, tracer=self.tracer)
+        prof = self.profiler
+        profiling = prof is not None and prof.enabled  # type: ignore[attr-defined]
+        if profiling:
+            proc.attach_profiler(prof)
+            prof.push(f"penalty/{regime}")  # type: ignore[attr-defined]
         machine = self.machine
         # Chunked driver: play the largest chunk guaranteed not to cross
         # the slice boundary before its final touch, so rescheduling
@@ -205,6 +212,8 @@ class PenaltyExperiment:
                             partner_gen.next_blocks(k),
                             partner_ref.refs_per_touch,
                         )
+        if profiling:
+            prof.pop()  # type: ignore[attr-defined]
         if self.metrics is not None:
             metrics = self.metrics
             stats = proc.cache.stats

@@ -27,6 +27,7 @@ from repro.engine.stats import ConfidenceInterval, SampleStats
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.measure.workloads import MIXES, WorkloadMix, make_jobs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import SpanProfiler
 
 #: One replication's outcome: policy name -> job name -> metrics.
 ReplicationResult = typing.Dict[str, typing.Dict[str, JobMetrics]]
@@ -44,14 +45,16 @@ def run_mix(
     machine: MachineSpec = SEQUENT_SYMMETRY,
     tracer: typing.Optional[object] = None,
     metrics: typing.Optional[MetricsRegistry] = None,
+    profiler: typing.Optional[object] = None,
 ) -> SystemResult:
     """Run one mix once under one policy; returns per-job metrics.
 
     The workload RNG stream is derived from ``seed`` but *not* from the
     policy, so different policies scheduling the same seed see the same
     jobs — the common-random-numbers pairing the paper's relative response
-    times rely on.  ``tracer``/``metrics`` attach the observability layer
-    to the run; both default to off (the null fast path).
+    times rely on.  ``tracer``/``metrics``/``profiler`` attach the
+    observability layer to the run; all default to off (the null fast
+    path).
     """
     rng = RngRegistry(seed)
     jobs = make_jobs(mix, rng.spawn("workload"), n_processors=n_processors, machine=machine)
@@ -64,6 +67,7 @@ def run_mix(
         rng=rng.spawn(f"system/{policy.name}"),
         tracer=tracer,
         metrics=metrics,
+        profiler=profiler,
     )
     return system.run()
 
@@ -93,10 +97,13 @@ class Replication:
 
     ``metrics`` maps policy name to a :meth:`MetricsRegistry.snapshot`
     dict; it is empty unless the comparison was asked to collect metrics.
+    ``profile`` maps policy name to a :meth:`SpanProfiler.snapshot` dict
+    (wall-clock simulator self-profile; empty unless collected).
     """
 
     jobs: ReplicationResult
     metrics: typing.Dict[str, dict] = dataclasses.field(default_factory=dict)
+    profile: typing.Dict[str, dict] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -108,6 +115,8 @@ class MixComparison:
     summaries: typing.Dict[str, typing.Dict[str, JobSummary]]  # policy -> job -> summary
     #: policy -> merged metrics snapshot (empty unless collect_metrics)
     metrics: typing.Dict[str, dict] = dataclasses.field(default_factory=dict)
+    #: policy -> merged wall-clock profile (empty unless collect_profile)
+    profiles: typing.Dict[str, dict] = dataclasses.field(default_factory=dict)
 
     def policies(self) -> typing.List[str]:
         """Policy names present."""
@@ -137,6 +146,7 @@ def _run_replication(
     n_processors: int,
     machine: MachineSpec,
     collect_metrics: bool,
+    collect_profile: bool,
     replication: int,
 ) -> Replication:
     """One full replication: every policy on the shared seed ``base_seed + r``.
@@ -144,14 +154,17 @@ def _run_replication(
     Module-level (not a closure) so it pickles across the process boundary
     when the comparison drivers run with ``workers > 1``.  Keeping all
     policies of a replication in one task preserves the common-random-
-    numbers pairing *within* the worker that runs them.  When metrics are
-    collected, each policy gets a fresh registry and the snapshot travels
-    home with the replication (snapshots are plain dicts, so they pickle).
+    numbers pairing *within* the worker that runs them.  When metrics or
+    profiles are collected, each policy gets a fresh registry/profiler and
+    the snapshot travels home with the replication (snapshots are plain
+    dicts, so they pickle).
     """
     jobs_out: ReplicationResult = {}
     metrics_out: typing.Dict[str, dict] = {}
+    profile_out: typing.Dict[str, dict] = {}
     for policy in policies:
         registry = MetricsRegistry() if collect_metrics else None
+        profiler = SpanProfiler() if collect_profile else None
         result = run_mix(
             mix,
             policy,
@@ -159,11 +172,14 @@ def _run_replication(
             n_processors=n_processors,
             machine=machine,
             metrics=registry,
+            profiler=profiler,
         )
         jobs_out[policy.name] = dict(result.jobs)
         if registry is not None:
             metrics_out[policy.name] = registry.snapshot()
-    return Replication(jobs=jobs_out, metrics=metrics_out)
+        if profiler is not None:
+            profile_out[policy.name] = profiler.snapshot()
+    return Replication(jobs=jobs_out, metrics=metrics_out, profile=profile_out)
 
 
 def _collect(
@@ -210,6 +226,24 @@ def _merged_metrics(
     }
 
 
+def _merged_profiles(
+    results: typing.Sequence[Replication],
+) -> typing.Dict[str, dict]:
+    """Merge per-replication wall-clock profiles, policy by policy.
+
+    Unlike metrics, profile *values* are wall-clock measurements and vary
+    run to run; only the span names and call counts are deterministic.
+    """
+    per_policy: typing.Dict[str, typing.List[dict]] = {}
+    for result in results:
+        for policy_name, snapshot in result.profile.items():
+            per_policy.setdefault(policy_name, []).append(snapshot)
+    return {
+        name: SpanProfiler.merged(snapshots)
+        for name, snapshots in per_policy.items()
+    }
+
+
 def compare_policies(
     mix: typing.Union[int, WorkloadMix],
     policies: typing.Sequence[Policy],
@@ -219,6 +253,7 @@ def compare_policies(
     machine: MachineSpec = SEQUENT_SYMMETRY,
     workers: typing.Optional[int] = None,
     collect_metrics: bool = False,
+    collect_profile: bool = False,
 ) -> MixComparison:
     """Run ``mix`` under each policy for ``replications`` seeds.
 
@@ -228,7 +263,9 @@ def compare_policies(
     a process pool; each replication is deterministic in its seed, so the
     result is identical to a serial run.  ``collect_metrics`` attaches a
     fresh registry to every run and merges the per-replication snapshots
-    (in replication order) into :attr:`MixComparison.metrics`.
+    (in replication order) into :attr:`MixComparison.metrics`;
+    ``collect_profile`` does the same with a :class:`SpanProfiler` into
+    :attr:`MixComparison.profiles`.
     """
     if isinstance(mix, int):
         mix = MIXES[mix]
@@ -242,6 +279,7 @@ def compare_policies(
         n_processors,
         machine,
         collect_metrics,
+        collect_profile,
     )
     results = map_replications(run_once, replications, workers=workers)
     return MixComparison(
@@ -249,6 +287,7 @@ def compare_policies(
         n_replications=replications,
         summaries=_summaries_from(results),
         metrics=_merged_metrics(results),
+        profiles=_merged_profiles(results),
     )
 
 
@@ -290,6 +329,7 @@ def compare_policies_to_confidence(
     workers: typing.Optional[int] = None,
     target_absolute: typing.Optional[float] = None,
     collect_metrics: bool = False,
+    collect_profile: bool = False,
 ) -> MixComparison:
     """Run replications until the paper's confidence criterion is met.
 
@@ -325,6 +365,7 @@ def compare_policies_to_confidence(
         n_processors,
         machine,
         collect_metrics,
+        collect_profile,
     )
     results = run_replications(
         run_once, min_replications, max_replications, check, workers=workers
@@ -334,6 +375,7 @@ def compare_policies_to_confidence(
         n_replications=len(results),
         summaries=_summaries_from(results),
         metrics=_merged_metrics(results),
+        profiles=_merged_profiles(results),
     )
 
 

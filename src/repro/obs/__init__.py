@@ -10,7 +10,12 @@ The subsystem has four pieces, layered so each consumes the one below:
   deterministic, order-stable snapshots and merges;
 * :mod:`repro.obs.invariants` / :mod:`repro.obs.replay` — the payoff:
   the trace replayed as a correctness oracle (simulator-wide invariants,
-  and aggregate reconstruction that must match the untraced run).
+  and aggregate reconstruction that must match the untraced run);
+* :mod:`repro.obs.analysis` — trace analytics: exact time attribution,
+  windowed interval series, and trace diffing;
+* :mod:`repro.obs.profiling` — wall-clock self-profiling of the
+  simulator itself (:class:`SpanProfiler`, null fast path like the
+  tracer).
 """
 
 from repro.obs.metrics import (
@@ -38,6 +43,12 @@ from repro.obs.records import (
     record_from_dict,
     record_to_dict,
 )
+from repro.obs.profiling import (
+    PROFILE_SCHEMA,
+    NullSpanProfiler,
+    SpanProfiler,
+    validate_profile,
+)
 from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = [
@@ -52,9 +63,12 @@ __all__ = [
     "JobArrival",
     "JobDeparture",
     "MetricsRegistry",
+    "NullSpanProfiler",
     "NullTracer",
+    "PROFILE_SCHEMA",
     "PolicyDecision",
     "RECORD_KINDS",
+    "SpanProfiler",
     "RunConfig",
     "RunEnd",
     "SNAPSHOT_SCHEMA",
@@ -63,5 +77,6 @@ __all__ = [
     "Undispatch",
     "record_from_dict",
     "record_to_dict",
+    "validate_profile",
     "validate_snapshot",
 ]

@@ -20,7 +20,10 @@ from __future__ import annotations
 import typing
 
 #: Snapshot schema identifier, bumped on incompatible layout changes.
-SNAPSHOT_SCHEMA = "repro.metrics/1"
+#: v2: histogram snapshots carry a derived ``mean`` (= sum/count, 0.0 when
+#: empty) so downstream consumers (CSV export, interval series) never
+#: recompute it inconsistently.
+SNAPSHOT_SCHEMA = "repro.metrics/2"
 
 #: Default histogram bucket upper bounds (seconds-ish scale; the catalog's
 #: histograms observe either seconds or small integer depths, both of
@@ -158,6 +161,7 @@ class MetricsRegistry:
                     "counts": list(h.counts),
                     "count": h.count,
                     "sum": h.sum,
+                    "mean": h.mean(),
                     "min": h.min,
                     "max": h.max,
                 }
@@ -229,9 +233,15 @@ def validate_snapshot(snapshot: typing.Mapping[str, typing.Any]) -> None:
     for name, data in snapshot["histograms"].items():
         if not isinstance(data, typing.Mapping):
             raise ValueError(f"histogram {name!r} is not a mapping")
-        for key in ("bounds", "counts", "count", "sum", "min", "max"):
+        for key in ("bounds", "counts", "count", "sum", "mean", "min", "max"):
             if key not in data:
                 raise ValueError(f"histogram {name!r} is missing {key!r}")
+        expected_mean = data["sum"] / data["count"] if data["count"] else 0.0
+        if data["mean"] != expected_mean:
+            raise ValueError(
+                f"histogram {name!r} mean {data['mean']!r} does not equal "
+                f"sum/count ({expected_mean!r})"
+            )
         if len(data["counts"]) != len(data["bounds"]) + 1:
             raise ValueError(
                 f"histogram {name!r} needs len(bounds)+1 counts, got "

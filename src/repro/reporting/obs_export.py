@@ -1,16 +1,22 @@
 """Exporters for the observability layer.
 
-Two formats, both deterministic byte-for-byte for a given input:
+Deterministic byte-for-byte formats for every observability artifact:
 
 * **JSONL traces** — one record per line, keys sorted, newline
   terminated; ``trace_from_jsonl`` round-trips the stream back into
   typed records (which is what lets a written trace be replayed as a
   correctness oracle later, or on another machine);
 * **metrics snapshots** — the :meth:`MetricsRegistry.snapshot` dict as
-  key-sorted JSON, or flattened to key-sorted CSV rows.
+  key-sorted JSON, or flattened to key-sorted CSV rows;
+* **analysis results** — time attribution, interval series and trace
+  diffs as schema-tagged key-sorted JSON/CSV, mirroring the snapshot
+  discipline.
 
 Every export is validated before serialization, so a malformed snapshot
-fails loudly at the producer rather than silently downstream.
+fails loudly at the producer rather than silently downstream; every
+*import* goes through :func:`validate_stream`, which turns a truncated
+or mid-record JSONL artifact into a :class:`TraceStreamError` naming the
+offending line instead of a bare ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -18,9 +24,30 @@ from __future__ import annotations
 import json
 import typing
 
+from repro.obs.analysis.attribution import BUCKETS, TimeAttribution
+from repro.obs.analysis.diff import TraceDiff
+from repro.obs.analysis.intervals import WINDOW_FIELDS, IntervalSeries
 from repro.obs.metrics import validate_snapshot
-from repro.obs.records import TraceRecord, record_from_dict, record_to_dict
+from repro.obs.records import (
+    RunConfig,
+    RunEnd,
+    TraceRecord,
+    record_from_dict,
+    record_to_dict,
+)
 from repro.reporting.export import rows_to_csv
+
+#: Time-attribution export schema identifier.
+ATTRIBUTION_SCHEMA = "repro.analysis.attribution/1"
+
+
+class TraceStreamError(ValueError):
+    """A trace artifact is truncated, malformed, or incomplete.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old error keep working; the message always names the line (or
+    framing record) at fault.
+    """
 
 
 def trace_to_jsonl(records: typing.Iterable[TraceRecord]) -> str:
@@ -35,8 +62,17 @@ def trace_from_jsonl(text: str) -> typing.List[TraceRecord]:
     """Parse a JSONL trace back into typed records.
 
     Raises:
-        ValueError: on an unknown record kind or malformed line.
+        TraceStreamError: on an unknown record kind, a malformed line, or
+            a truncated (mid-record) final line.
     """
+    if text and not text.endswith("\n"):
+        # Our writers always newline-terminate; a missing final newline
+        # means the artifact was cut off mid-write.
+        last = text.rsplit("\n", 1)[-1]
+        raise TraceStreamError(
+            "trace is truncated: final line has no newline terminator "
+            f"(starts {last[:60]!r}); the artifact was cut off mid-record"
+        )
     records: typing.List[TraceRecord] = []
     for i, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
@@ -44,9 +80,72 @@ def trace_from_jsonl(text: str) -> typing.List[TraceRecord]:
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"trace line {i} is not valid JSON: {exc}") from exc
-        records.append(record_from_dict(payload))
+            raise TraceStreamError(
+                f"trace line {i} is not valid JSON ({exc}); the artifact "
+                "is corrupt or was truncated mid-record"
+            ) from exc
+        try:
+            records.append(record_from_dict(payload))
+        except ValueError as exc:
+            raise TraceStreamError(f"trace line {i}: {exc}") from exc
     return records
+
+
+def validate_stream(
+    records: typing.Sequence[TraceRecord], source: str = "trace"
+) -> typing.List[TraceRecord]:
+    """Check that ``records`` form one complete run and return them.
+
+    A complete run starts with exactly one ``run_config`` and ends with a
+    ``run_end`` — the framing the analysis layer (attribution, interval
+    series, diff) requires.
+
+    Raises:
+        TraceStreamError: naming what is missing or out of place.
+    """
+    records = list(records)
+    if not records:
+        raise TraceStreamError(f"{source} is empty")
+    if not isinstance(records[0], RunConfig):
+        raise TraceStreamError(
+            f"{source} does not start with a run_config record "
+            f"(got {records[0].kind!r}); not a complete run artifact"
+        )
+    if not isinstance(records[-1], RunEnd):
+        raise TraceStreamError(
+            f"{source} does not end with a run_end record "
+            f"(got {records[-1].kind!r}); the run was cut off"
+        )
+    for i, record in enumerate(records[1:-1], start=2):
+        if isinstance(record, RunConfig):
+            raise TraceStreamError(
+                f"{source} record {i} is a second run_config; "
+                "analysis expects one run per artifact"
+            )
+        if isinstance(record, RunEnd):
+            raise TraceStreamError(
+                f"{source} record {i} is a premature run_end"
+            )
+    return records
+
+
+def load_trace(path: str) -> typing.List[TraceRecord]:
+    """Read, parse and frame-check a JSONL trace file.
+
+    Raises:
+        TraceStreamError: on unreadable, truncated, malformed, or
+            incomplete artifacts — always naming the file.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise TraceStreamError(f"cannot read trace {path!r}: {exc}") from exc
+    try:
+        records = trace_from_jsonl(text)
+    except TraceStreamError as exc:
+        raise TraceStreamError(f"{path}: {exc}") from exc
+    return validate_stream(records, source=path)
 
 
 def snapshot_to_json(snapshot: typing.Mapping[str, typing.Any]) -> str:
@@ -68,9 +167,81 @@ def snapshot_to_csv(snapshot: typing.Mapping[str, typing.Any]) -> str:
     for name, value in sorted(snapshot["gauges"].items()):
         rows.append(["gauge", name, "value", value])
     for name, data in sorted(snapshot["histograms"].items()):
-        count = data["count"]
-        mean = data["sum"] / count if count else 0.0
-        for field in ("count", "sum", "min", "max"):
+        # v2 snapshots carry the derived mean; export it verbatim.
+        for field in ("count", "sum", "mean", "min", "max"):
             rows.append(["histogram", name, field, data[field]])
-        rows.append(["histogram", name, "mean", mean])
     return rows_to_csv(["section", "name", "field", "value"], rows)
+
+
+# --------------------------------------------------------------------- #
+# analysis exports
+
+
+def attribution_to_dict(
+    attribution: TimeAttribution,
+) -> typing.Dict[str, typing.Any]:
+    """A :class:`TimeAttribution` as a schema-tagged plain dict.
+
+    Exact Fractions become floats here — this is the reporting boundary;
+    conservation has already been checked upstream in rational
+    arithmetic.
+    """
+    return {
+        "schema": ATTRIBUTION_SCHEMA,
+        "policy": attribution.policy,
+        "seed": attribution.seed,
+        "n_processors": attribution.n_processors,
+        "t0": float(attribution.t0),
+        "makespan": float(attribution.makespan),
+        "buckets": list(BUCKETS),
+        "per_cpu": {
+            str(cpu): attribution.cpu_buckets(cpu)
+            for cpu in sorted(attribution.per_cpu)
+        },
+        "per_job": {
+            job: attribution.job_buckets(job)
+            for job in sorted(attribution.per_job)
+        },
+        "totals": attribution.totals(),
+        "response_times": {
+            job: float(rt)
+            for job, rt in sorted(attribution.response_times.items())
+        },
+    }
+
+
+def attribution_to_json(attribution: TimeAttribution) -> str:
+    """Time attribution as key-sorted, newline-terminated JSON."""
+    return json.dumps(attribution_to_dict(attribution), sort_keys=True, indent=2) + "\n"
+
+
+def attribution_to_csv(attribution: TimeAttribution) -> str:
+    """Time attribution flattened to CSV: one row per (view, entity, bucket)."""
+    rows: typing.List[typing.Sequence[object]] = []
+    for cpu in sorted(attribution.per_cpu):
+        buckets = attribution.cpu_buckets(cpu)
+        for bucket in BUCKETS:
+            rows.append(["cpu", str(cpu), bucket, buckets[bucket]])
+    for job in sorted(attribution.per_job):
+        buckets = attribution.job_buckets(job)
+        for bucket in BUCKETS:
+            rows.append(["job", job, bucket, buckets[bucket]])
+    return rows_to_csv(["view", "entity", "bucket", "seconds"], rows)
+
+
+def intervals_to_json(series: IntervalSeries) -> str:
+    """An interval series as key-sorted, newline-terminated JSON."""
+    return json.dumps(series.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def intervals_to_csv(series: IntervalSeries) -> str:
+    """An interval series as CSV, one row per window."""
+    rows = [
+        [window[field] for field in WINDOW_FIELDS] for window in series.windows
+    ]
+    return rows_to_csv(list(WINDOW_FIELDS), rows)
+
+
+def diff_to_json(diff: TraceDiff) -> str:
+    """A trace diff as key-sorted, newline-terminated JSON."""
+    return json.dumps(diff.to_dict(), sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,185 @@
+"""The analysis CLI surface: ``repro analyze``, ``repro diff``, ``--profile``.
+
+Also the satellite acceptance: truncated or mid-record artifacts are
+refused with a clear error and a non-zero exit, at both the library
+(``validate_stream``/``load_trace``) and CLI layers.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import ANALYSIS_MARKER, PROFILE_MARKER, main
+from repro.obs.analysis import DIFF_SCHEMA, INTERVALS_SCHEMA
+from repro.reporting.obs_export import (
+    ATTRIBUTION_SCHEMA,
+    TraceStreamError,
+    load_trace,
+    trace_from_jsonl,
+    validate_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "dynaff.jsonl"
+    assert main(["trace", "--mix", "1", "--policy", "Dyn-Aff",
+                 "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def equi_trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "equi.jsonl"
+    assert main(["trace", "--mix", "1", "--policy", "Equipartition",
+                 "--out", str(path)]) == 0
+    return path
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_attribution_and_conservation(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert "time attribution" in stdout
+        assert "per-job decomposition" in stdout
+        assert "conservation: exact" in stdout
+        assert "interval series" in stdout
+
+    def test_analyze_timeline_flag(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--timeline",
+                     "--timeline-width", "60"]) == 0
+        stdout = capsys.readouterr().out
+        assert "cpu timeline" in stdout
+        assert "legend:" in stdout
+        # One row per processor, each exactly 60 columns wide.
+        rows = [line for line in stdout.splitlines()
+                if line.startswith("cpu ") and line.endswith("|")]
+        assert len(rows) == 16
+        for row in rows:
+            assert len(row.split("|")[1]) == 60
+
+    def test_analyze_writes_schema_tagged_outputs(self, trace_path, tmp_path, capsys):
+        json_out = tmp_path / "attr.json"
+        csv_out = tmp_path / "attr.csv"
+        ivals_json = tmp_path / "intervals.json"
+        ivals_csv = tmp_path / "intervals.csv"
+        assert main([
+            "analyze", str(trace_path),
+            "--json", str(json_out), "--csv", str(csv_out),
+            "--intervals-json", str(ivals_json),
+            "--intervals-csv", str(ivals_csv),
+        ]) == 0
+        capsys.readouterr()
+        attribution = json.loads(json_out.read_text(encoding="utf-8"))
+        assert attribution["schema"] == ATTRIBUTION_SCHEMA
+        assert attribution["policy"] == "Dyn-Aff"
+        intervals = json.loads(ivals_json.read_text(encoding="utf-8"))
+        assert intervals["schema"] == INTERVALS_SCHEMA
+        assert csv_out.read_text(encoding="utf-8").startswith(
+            "view,entity,bucket,seconds"
+        )
+        assert ivals_csv.read_text(encoding="utf-8").startswith("index,start,end")
+
+    def test_analyze_custom_window(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--window", "0.5"]) == 0
+        assert "window=0.5s" in capsys.readouterr().out
+
+
+class TestTruncationRefusal:
+    """Satellite (a): corrupt artifacts fail loudly, never analyze."""
+
+    def test_truncated_file_exits_nonzero_with_clear_error(
+        self, trace_path, tmp_path, capsys
+    ):
+        text = trace_path.read_text(encoding="utf-8")
+        bad = tmp_path / "truncated.jsonl"
+        bad.write_text(text[:-30], encoding="utf-8")  # cut mid-record
+        with pytest.raises(SystemExit) as exc_info:
+            main(["analyze", str(bad)])
+        assert exc_info.value.code == 1
+        err = capsys.readouterr().err
+        assert "truncated" in err
+        assert str(bad) in err
+
+    def test_missing_run_end_exits_nonzero(self, trace_path, tmp_path, capsys):
+        lines = trace_path.read_text(encoding="utf-8").splitlines()
+        bad = tmp_path / "no-end.jsonl"
+        bad.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["analyze", str(bad)])
+        assert exc_info.value.code == 1
+        assert "run_end" in capsys.readouterr().err
+
+    def test_diff_refuses_corrupt_inputs_too(self, trace_path, tmp_path, capsys):
+        bad = tmp_path / "garbage.jsonl"
+        bad.write_text('{"kind": "dispatch", "time": not-json}\n', encoding="utf-8")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["diff", str(trace_path), str(bad)])
+        assert exc_info.value.code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_load_trace_names_missing_file(self, tmp_path):
+        with pytest.raises(TraceStreamError, match="cannot read trace"):
+            load_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_validate_stream_rejects_bad_framing(self, trace_path):
+        records = load_trace(str(trace_path))
+        with pytest.raises(TraceStreamError, match="run_config"):
+            validate_stream(records[1:])
+        with pytest.raises(TraceStreamError, match="cut off"):
+            validate_stream(records[:-1])
+        with pytest.raises(TraceStreamError, match="second run_config"):
+            validate_stream(records[:-1] + [records[0], records[-1]])
+        with pytest.raises(TraceStreamError, match="empty"):
+            validate_stream([])
+
+    def test_trace_from_jsonl_rejects_missing_final_newline(self, trace_path):
+        text = trace_path.read_text(encoding="utf-8")
+        with pytest.raises(TraceStreamError, match="truncated"):
+            trace_from_jsonl(text.rstrip("\n"))
+
+
+class TestDiffCommand:
+    def test_self_diff_reports_identical(self, trace_path, capsys):
+        assert main(["diff", str(trace_path), str(trace_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert "identical: True" in stdout
+        assert "record-for-record identical" in stdout
+
+    def test_policy_diff_reports_divergence_and_buckets(
+        self, equi_trace_path, trace_path, tmp_path, capsys
+    ):
+        json_out = tmp_path / "diff.json"
+        assert main([
+            "diff", str(equi_trace_path), str(trace_path),
+            "--label-a", "Equi", "--label-b", "Dyn-Aff",
+            "--json", str(json_out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "identical: False" in stdout
+        assert "mean response-time delta" in stdout
+        assert "machine totals" in stdout
+        assert "first divergent record" in stdout
+        payload = json.loads(json_out.read_text(encoding="utf-8"))
+        assert payload["schema"] == DIFF_SCHEMA
+        assert payload["label_a"] == "Equi"
+        assert payload["first_divergence"] is not None
+
+
+class TestProfileFlag:
+    def test_table1_profile_prints_span_table(self, capsys):
+        assert main(["table1", "--scale", "16", "--profile"]) == 0
+        stdout = capsys.readouterr().out
+        assert PROFILE_MARKER in stdout
+        assert "simulator self-profile" in stdout
+        assert "cache/access_batch" in stdout
+        assert "penalty/" in stdout
+
+    def test_fig6_analyze_prints_attribution(self, capsys):
+        assert main(["fig6", "--replications", "1", "--analyze",
+                     "--profile"]) == 0
+        stdout = capsys.readouterr().out
+        assert ANALYSIS_MARKER in stdout
+        assert "conservation: exact" in stdout
+        assert PROFILE_MARKER in stdout
+        assert "engine/run" in stdout

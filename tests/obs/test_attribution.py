@@ -1,0 +1,156 @@
+"""Time attribution: exact conservation and bucket semantics.
+
+The tentpole property, checked as a sweep: for every policy on random
+mixes, ``attribute_time`` charges every simulated second to exactly one
+bucket, and the buckets conserve *exactly* (Fraction equality, not
+closeness) — per CPU to the makespan, machine-wide to makespan x P, and
+per job to the response time.  The attribution is also cross-checked
+against the system's own float aggregates, so the replayed decomposition
+agrees with what the simulator thinks it did.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.policies import (
+    DYN_AFF,
+    DYN_AFF_DELAY,
+    DYN_AFF_NOPRI,
+    DYNAMIC,
+    EQUIPARTITION,
+)
+from repro.core.system import SchedulingSystem
+from repro.obs import Tracer
+from repro.obs.analysis import (
+    BUCKETS,
+    CPU_STATES,
+    attribute_time,
+    cpu_state_segments,
+    sweep,
+)
+from tests.core.helpers import flat_job
+from tests.obs.test_invariant_properties import ALL_POLICIES, random_mix
+
+
+def traced_run(jobs, policy, n_processors=8, seed=0):
+    tracer = Tracer()
+    system = SchedulingSystem(
+        jobs, policy, n_processors=n_processors, seed=seed, tracer=tracer
+    )
+    result = system.run()
+    return tracer.records, result
+
+
+class TestConservationSweep:
+    """Satellite (c): conservation holds across 5 policies x 3 mixes."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("mix_seed", [11, 22, 33])
+    def test_buckets_conserve_exactly(self, policy, mix_seed):
+        records, result = traced_run(random_mix(mix_seed), policy)
+        attribution = attribute_time(records)
+        errors = attribution.conservation_errors()
+        assert errors == [], f"{policy.name} mix={mix_seed}: {errors[:3]}"
+        # Every traced job got both views.
+        assert set(attribution.response_times) == set(result.jobs)
+        assert set(attribution.per_job) == set(result.jobs)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_attribution_matches_system_aggregates(self, policy):
+        """The replayed buckets agree with the simulator's own totals.
+
+        The system accumulates work/switch/penalty in float arithmetic,
+        so this comparison is approximate; conservation above is exact.
+        """
+        records, result = traced_run(random_mix(11), policy)
+        attribution = attribute_time(records)
+        totals = attribution.totals()
+        assert totals["compute"] == pytest.approx(
+            sum(m.work for m in result.jobs.values()), rel=1e-9, abs=1e-9
+        )
+        assert totals["switch"] == pytest.approx(
+            sum(m.switch_overhead_total for m in result.jobs.values()),
+            rel=1e-9, abs=1e-9,
+        )
+        assert totals["reload"] == pytest.approx(
+            sum(m.cache_penalty_total for m in result.jobs.values()),
+            rel=1e-9, abs=1e-9,
+        )
+        for job, metrics in result.jobs.items():
+            assert float(attribution.response_times[job]) == pytest.approx(
+                metrics.response_time, rel=1e-12
+            )
+
+
+class TestBucketSemantics:
+    def test_wait_bucket_charges_jobs_holding_no_processor(self):
+        """More jobs than processors: someone must processor-wait."""
+        jobs = [flat_job(f"J{i}", 2, 0.3, 1) for i in range(5)]
+        records, _ = traced_run(jobs, DYN_AFF, n_processors=2)
+        attribution = attribute_time(records)
+        assert attribution.conservation_errors() == []
+        total_wait = sum(
+            attribution.job_buckets(job)["wait"] for job in attribution.per_job
+        )
+        assert total_wait > 0
+
+    def test_cpu_view_never_uses_wait(self):
+        """``wait`` is a job-side notion; processors are busy or idle."""
+        records, _ = traced_run(random_mix(22), DYN_AFF)
+        attribution = attribute_time(records)
+        for cpu in attribution.per_cpu:
+            assert attribution.cpu_buckets(cpu)["wait"] == 0.0
+
+    def test_bucket_values_are_nonnegative(self):
+        records, _ = traced_run(random_mix(33), DYN_AFF_NOPRI)
+        attribution = attribute_time(records)
+        for job in attribution.per_job:
+            for bucket in BUCKETS:
+                assert attribution.job_buckets(job)[bucket] >= 0.0
+        for cpu in attribution.per_cpu:
+            for bucket in BUCKETS:
+                assert attribution.cpu_buckets(cpu)[bucket] >= 0.0
+
+    def test_requires_run_config_and_run_end_framing(self):
+        records, _ = traced_run(random_mix(11), EQUIPARTITION)
+        with pytest.raises(ValueError):
+            attribute_time(records[1:])
+        with pytest.raises(ValueError):
+            attribute_time(records[:-1])
+
+
+class TestSweep:
+    def test_slices_tile_the_run_without_gaps(self):
+        records, _ = traced_run(random_mix(11), DYN_AFF)
+        slices = sweep(records)
+        assert slices, "a real run must produce slices"
+        assert slices[0].start == Fraction(records[0].time)
+        assert slices[-1].end == Fraction(records[-1].time)
+        for prev, cur in zip(slices, slices[1:]):
+            assert prev.end == cur.start
+            assert cur.duration > 0
+
+    def test_running_processors_are_always_owned(self):
+        records, _ = traced_run(random_mix(22), DYN_AFF_DELAY)
+        for piece in sweep(records):
+            for cpu, (job, _worker, phase) in piece.running.items():
+                assert piece.owners.get(cpu) == job
+                assert phase in ("switch", "reload", "compute")
+
+    def test_empty_trace_yields_no_slices(self):
+        assert sweep([]) == []
+
+
+class TestCpuStateSegments:
+    def test_segments_use_known_states_and_are_coalesced(self):
+        records, _ = traced_run(random_mix(11), DYNAMIC)
+        segments = cpu_state_segments(records)
+        assert set(segments) == set(range(8))
+        for runs in segments.values():
+            for start, end, state in runs:
+                assert state in CPU_STATES
+                assert end > start
+            for prev, cur in zip(runs, runs[1:]):
+                # Adjacent runs never share a state (they would have merged).
+                assert not (prev[2] == cur[2] and prev[1] == cur[0])
