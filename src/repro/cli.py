@@ -161,7 +161,8 @@ def cmd_table1(args: argparse.Namespace) -> None:
 
         profiler = SpanProfiler()
     experiment = PenaltyExperiment(
-        scale=args.scale, seed=args.seed, metrics=registry, profiler=profiler
+        scale=args.scale, seed=args.seed, metrics=registry, profiler=profiler,
+        backend=args.backend,
     )
     apps = [APPLICATIONS[n] for n in ("MATRIX", "MVA", "GRAVITY")]
     table = experiment.table1(apps)
@@ -547,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument(
         "--profile", action="store_true",
         help="print a wall-clock simulator self-profile after the table",
+    )
+    p_t1.add_argument(
+        "--backend", choices=("scalar", "numpy"), default=None,
+        help="cache engine (default: REPRO_BACKEND env var, then scalar)",
     )
     p_t1.set_defaults(func=cmd_table1)
 

@@ -27,8 +27,11 @@ from __future__ import annotations
 import math
 
 #: Default chunk cap: bounds per-chunk list sizes (memory and latency)
-#: while keeping per-chunk Python overhead negligible.
-DEFAULT_CHUNK = 4096
+#: while keeping per-chunk Python overhead negligible.  8192 keeps the
+#: numpy backend's per-chunk fixed costs well amortized while the chunk
+#: working set still fits in L2; both backends use the same cap so they
+#: see bit-identical chunk sequences (and emit bit-identical traces).
+DEFAULT_CHUNK = 8192
 
 
 def batch_limit(
@@ -46,7 +49,16 @@ def batch_limit(
     n = math.ceil(budget_s / worst_touch_cost_s)
     if n < 1:
         return 1
-    return cap if n > cap else n
+    if n > cap:
+        # budget/worst > cap implies (cap - 1) * worst < budget exactly.
+        return cap
+    # ceil() of the rounded float quotient can overshoot (e.g. budgets
+    # that are exact multiples of the cost, where the true quotient q
+    # admits only n = q touches but float division lands just above q);
+    # re-check the defining inequality and clamp down until it holds.
+    while n > 1 and (n - 1) * worst_touch_cost_s >= budget_s:
+        n -= 1
+    return n
 
 
 def worst_touch_cost(miss_time_s: float, hit_time_s: float, refs_per_touch: int) -> float:

@@ -12,24 +12,27 @@ experiments ask "how much of task T's footprint survived the intervening
 task?" directly, which on the real machine had to be inferred from timing.
 
 Hot-path design (see docs/architecture.md, "Hot path and fidelity
-scaling"):
+scaling" and "Cache backends"):
 
 * **Batching** — :meth:`SetAssociativeCache.access_batch` processes a
-  whole chunk of block indices per call with everything hot held in
-  locals and a single stats update per chunk.  The scalar
-  :meth:`~SetAssociativeCache.access` is a one-element wrapper around
-  the same code path, so the two can never disagree.
+  whole chunk of block indices per call with a single stats update per
+  chunk.  The scalar :meth:`~SetAssociativeCache.access` is a
+  one-element wrapper around the same code path, so the two can never
+  disagree.
+* **Pluggable backends** — the per-set LRU state and the chunk loop
+  live behind the :class:`~repro.machine.backends.CacheBackend`
+  protocol.  The ``scalar`` backend (per-touch Python loops) is the
+  executable reference spec; the optional ``numpy`` backend executes
+  the same chunk as columnar array operations.  Selection precedence is
+  CLI flag > ``REPRO_BACKEND`` env var > scalar; see
+  :mod:`repro.machine.backends`.
 * **Interned owners** — owner keys (any hashable) are interned to small
   integer ids; a line's tag is the integer ``(owner_id << 40) | block``,
-  avoiding per-access tuple allocation.  Ids are recycled once an
-  owner's last line leaves the cache, so long multiprogrammed runs that
-  churn through unboundedly many owner keys do not grow the tables.
-* **Flat per-set storage** — for the ubiquitous 2-way power-of-two
-  geometry (the Symmetry and all its fidelity reductions), each set's
-  LRU state is two parallel flat lists (``_lru[i]``, ``_mru[i]``); a
-  2-way LRU set is just a shift register, so hits and evictions are a
-  few integer compares with no container churn.  Other geometries fall
-  back to a dict-per-set representation (insertion order = LRU order).
+  avoiding per-access tuple allocation.  Block indices must therefore
+  be below 2**40; every backend validates whole chunks up front and
+  raises ``ValueError``.  Ids are recycled once an owner's last line
+  leaves the cache, so long multiprogrammed runs that churn through
+  unboundedly many owner keys do not grow the tables.
 * **Lazy owner index** — per-owner resident-tag sets are *not*
   maintained inside the access loop.  They are rebuilt on demand (one
   linear pass over the cache) the next time :meth:`footprint`,
@@ -46,13 +49,15 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.machine.backends import BLOCK_MASK, EMPTY, OWNER_SHIFT, make_backend
 from repro.machine.params import MachineSpec
 from repro.obs.records import CacheBatch, CacheFlush
 
-#: Bits reserved for the block index inside an integer line tag.
-_OWNER_SHIFT = 40
-#: Sentinel for an invalid / empty way in the flat 2-way representation.
-_EMPTY = -1
+#: Backwards-compatible aliases (the packing constants predate the
+#: backends package).
+_OWNER_SHIFT = OWNER_SHIFT
+_BLOCK_MASK = BLOCK_MASK
+_EMPTY = EMPTY
 
 
 @dataclasses.dataclass
@@ -84,24 +89,28 @@ class SetAssociativeCache:
     """An N-way set-associative cache with per-set LRU replacement.
 
     Block indices must be non-negative integers below 2**40 (the tag
-    packing reserves the high bits for the interned owner id).
+    packing reserves the high bits for the interned owner id); accesses
+    and queries outside that range raise ``ValueError``.
+
+    Args:
+        spec: machine geometry (sets, associativity).
+        backend: engine name (``"scalar"`` or ``"numpy"``) or None to
+            consult the ``REPRO_BACKEND`` env var and fall back to
+            scalar; :attr:`backend_name` reports what actually runs
+            (the numpy engine covers only 2-way power-of-two
+            geometries and falls back to scalar elsewhere).
     """
 
-    def __init__(self, spec: MachineSpec) -> None:
+    def __init__(
+        self, spec: MachineSpec, backend: typing.Optional[str] = None
+    ) -> None:
         self.spec = spec
         self.n_sets = spec.cache_sets
         self.associativity = spec.associativity
         self.stats = CacheStats()
-        n_sets = self.n_sets
-        #: the flat fast path covers 2-way caches with power-of-two sets
-        self._two_way = spec.associativity == 2 and n_sets & (n_sets - 1) == 0
-        if self._two_way:
-            self._set_mask = n_sets - 1
-            self._lru: typing.List[int] = [_EMPTY] * n_sets
-            self._mru: typing.List[int] = [_EMPTY] * n_sets
-            self._sets: typing.List[typing.Dict[int, None]] = []
-        else:
-            self._sets = [{} for _ in range(n_sets)]
+        self._backend = make_backend(backend, spec)
+        #: the engine actually executing accesses, after any fallback
+        self.backend_name = self._backend.name
         # Owner interning: key <-> small id, with id recycling.
         self._owner_ids: typing.Dict[typing.Hashable, int] = {}
         self._owner_keys: typing.Dict[int, typing.Hashable] = {}
@@ -160,8 +169,6 @@ class SetAssociativeCache:
             True on a hit, False on a miss (after which the block is
             resident, possibly evicting the set's LRU line).
         """
-        if block < 0:
-            raise ValueError("block indices must be non-negative")
         return self.access_batch(owner, (block,)) == 1
 
     def access_batch(
@@ -171,9 +178,15 @@ class SetAssociativeCache:
 
         Semantically identical to calling :meth:`access` once per block;
         counters are updated once per call rather than once per access.
+        ``blocks`` may be any sequence of ints (the numpy backend takes
+        integer ndarrays without conversion cost).
 
         Returns:
             The number of hits (misses are ``len(blocks) - hits``).
+
+        Raises:
+            ValueError: if any block is negative or >= 2**40 (checked
+                against the whole chunk before any state changes).
         """
         prof = self._profiler
         profiling = prof is not None and prof.enabled  # type: ignore[attr-defined]
@@ -182,46 +195,7 @@ class SetAssociativeCache:
         oid = self._owner_ids.get(owner)
         if oid is None:
             oid = self._intern(owner)
-        base = oid << _OWNER_SHIFT
-        hits = 0
-        if self._two_way:
-            lru = self._lru
-            mru = self._mru
-            mask = self._set_mask
-            # A 2-way LRU set is a shift register: a fresh tag pushes the
-            # MRU down to LRU and drops the old LRU (which is _EMPTY while
-            # the set is filling, so cold fills need no special case).
-            for block in blocks:
-                i = block & mask
-                tag = base + block
-                m = mru[i]
-                if m == tag:
-                    hits += 1
-                    continue
-                l = lru[i]
-                if l == tag:
-                    lru[i] = m
-                    mru[i] = tag
-                    hits += 1
-                    continue
-                lru[i] = m
-                mru[i] = tag
-        else:
-            sets = self._sets
-            n_sets = self.n_sets
-            assoc = self.associativity
-            for block in blocks:
-                s = sets[block % n_sets]
-                tag = base + block
-                if tag in s:
-                    # Re-insertion moves the tag to the MRU end.
-                    del s[tag]
-                    s[tag] = None
-                    hits += 1
-                    continue
-                if len(s) >= assoc:
-                    del s[next(iter(s))]
-                s[tag] = None
+        hits = self._backend.access_batch(oid << OWNER_SHIFT, blocks)
         misses = len(blocks) - hits
         if misses:
             self._index_dirty = True
@@ -247,15 +221,21 @@ class SetAssociativeCache:
     # -- queries -------------------------------------------------------- #
 
     def contains(self, owner: typing.Hashable, block: int) -> bool:
-        """True if ``owner``'s ``block`` is resident (does not touch LRU state)."""
+        """True if ``owner``'s ``block`` is resident (does not touch LRU state).
+
+        Raises:
+            ValueError: for a block outside [0, 2**40) — such a block
+                can never be resident, and before range validation its
+                packed tag silently aliased another owner's lines.
+        """
+        if block < 0 or block > BLOCK_MASK:
+            raise ValueError(
+                f"block indices must be in [0, 2**40); got {block}"
+            )
         oid = self._owner_ids.get(owner)
         if oid is None:
             return False
-        tag = (oid << _OWNER_SHIFT) + block
-        if self._two_way:
-            i = block & self._set_mask
-            return self._mru[i] == tag or self._lru[i] == tag
-        return tag in self._sets[block % self.n_sets]
+        return self._backend.contains(oid << OWNER_SHIFT, block)
 
     def footprint(self, owner: typing.Hashable) -> int:
         """Number of lines currently owned by ``owner``."""
@@ -276,21 +256,13 @@ class SetAssociativeCache:
 
     def resident_lines(self) -> int:
         """Total number of valid lines in the cache."""
-        if self._two_way:
-            return (
-                2 * self.n_sets
-                - self._lru.count(_EMPTY)
-                - self._mru.count(_EMPTY)
-            )
-        return sum(len(s) for s in self._sets)
+        return self._backend.resident_lines()
 
     def set_occupancy(self, index: int) -> int:
         """Number of valid lines in set ``index`` (bounds-checked)."""
-        if self._two_way:
-            if not 0 <= index < self.n_sets:
-                raise IndexError(index)
-            return (self._lru[index] != _EMPTY) + (self._mru[index] != _EMPTY)
-        return len(self._sets[index])
+        if not 0 <= index < self.n_sets:
+            raise IndexError(index)
+        return self._backend.set_occupancy(index)
 
     # -- invalidation --------------------------------------------------- #
 
@@ -300,13 +272,8 @@ class SetAssociativeCache:
         This models the Section 4 "migrating" regime, where enough memory
         is referenced sequentially to eject all prior content.
         """
-        dropped = self.resident_lines()
-        if self._two_way:
-            self._lru = [_EMPTY] * self.n_sets
-            self._mru = [_EMPTY] * self.n_sets
-        else:
-            for cache_set in self._sets:
-                cache_set.clear()
+        dropped = self._backend.resident_lines()
+        self._backend.clear()
         self._owner_ids.clear()
         self._owner_keys.clear()
         self._free_ids.clear()
@@ -335,21 +302,7 @@ class SetAssociativeCache:
         if tags is None:
             # The rebuild found no resident lines and released the id.
             return 0
-        if self._two_way:
-            lru = self._lru
-            mru = self._mru
-            mask = self._set_mask
-            for tag in tags:
-                i = tag & mask
-                if mru[i] == tag:
-                    # Promote the surviving line; the set may also be empty.
-                    mru[i] = lru[i]
-                lru[i] = _EMPTY
-        else:
-            sets = self._sets
-            n_sets = self.n_sets
-            for tag in tags:
-                del sets[(tag - (oid << _OWNER_SHIFT)) % n_sets][tag]
+        self._backend.evict_tags(oid << OWNER_SHIFT, tags)
         self._release(oid)
         # Only this owner's entries changed, so the index stays valid.
         return len(tags)
@@ -376,21 +329,15 @@ class SetAssociativeCache:
 
         Owners left with no resident lines are un-interned and their ids
         recycled, which bounds every owner table by the cache capacity.
+        (The numpy backend folds its owner views into the tag arrays
+        before enumerating them, so recycled ids can never meet a stale
+        view.)
         """
         owner_tags: typing.Dict[int, typing.Set[int]] = {
             oid: set() for oid in self._owner_keys
         }
-        if self._two_way:
-            for tag in self._lru:
-                if tag != _EMPTY:
-                    owner_tags[tag >> _OWNER_SHIFT].add(tag)
-            for tag in self._mru:
-                if tag != _EMPTY:
-                    owner_tags[tag >> _OWNER_SHIFT].add(tag)
-        else:
-            for cache_set in self._sets:
-                for tag in cache_set:
-                    owner_tags[tag >> _OWNER_SHIFT].add(tag)
+        for tag in self._backend.resident_tags():
+            owner_tags[tag >> OWNER_SHIFT].add(tag)
         for oid in [oid for oid, tags in owner_tags.items() if not tags]:
             del owner_tags[oid]
             self._release(oid)
@@ -400,5 +347,6 @@ class SetAssociativeCache:
     def __repr__(self) -> str:
         return (
             f"SetAssociativeCache(sets={self.n_sets}, assoc={self.associativity}, "
+            f"backend={self.backend_name}, "
             f"resident={self.resident_lines()}/{self.spec.cache_lines})"
         )

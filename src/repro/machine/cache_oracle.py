@@ -47,6 +47,8 @@ class SimulatedCacheFootprint:
         scale: fidelity reduction (see :func:`reduced_machine`); penalties
             in seconds are scale-invariant.
         seed: master seed for the per-task reference streams.
+        backend: cache engine name for the per-processor simulators
+            (None = ``REPRO_BACKEND`` env var, falling back to scalar).
     """
 
     def __init__(
@@ -55,9 +57,11 @@ class SimulatedCacheFootprint:
         machine: MachineSpec = SEQUENT_SYMMETRY,
         scale: int = 64,
         seed: int = 0,
+        backend: typing.Optional[str] = None,
     ) -> None:
         self.spec = machine
         self.scale = scale
+        self.backend = backend
         self.reduced = reduced_machine(machine, scale)
         self._reference_specs = {
             name: spec.reduced(scale) for name, spec in reference_specs.items()
@@ -97,7 +101,7 @@ class SimulatedCacheFootprint:
         del curve
         ref = self._spec_for(task)
         cache = self._caches.setdefault(
-            processor, SetAssociativeCache(self.reduced)
+            processor, SetAssociativeCache(self.reduced, backend=self.backend)
         )
         generator = self._generators.get(task)
         if generator is None:

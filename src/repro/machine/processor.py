@@ -29,10 +29,11 @@ class Processor:
         cpu_id: int,
         spec: MachineSpec,
         tracer: typing.Optional[object] = None,
+        backend: typing.Optional[str] = None,
     ) -> None:
         self.cpu_id = cpu_id
         self.spec = spec
-        self.cache = SetAssociativeCache(spec)
+        self.cache = SetAssociativeCache(spec, backend=backend)
         self.busy_time = 0.0
         self.current_task: typing.Optional[typing.Hashable] = None
         if tracer is not None:

@@ -77,11 +77,14 @@ class InterveningExperiment:
         scale: int = 16,
         n_switches_target: int = 30,
         seed: int = 0,
+        backend: typing.Optional[str] = None,
     ) -> None:
         self.machine = reduced_machine(machine, scale)
         self.scale = scale
         self.n_switches_target = n_switches_target
         self.seed = seed
+        #: cache engine for the regime processors (None = env var/default)
+        self.backend = backend
 
     def measure(
         self,
@@ -122,7 +125,7 @@ class InterveningExperiment:
             ReferenceGenerator(partner_ref, rng.stream(f"partner{i}"))
             for i in range(max(0, n_intervening))
         ]
-        proc = Processor(0, self.machine)
+        proc = Processor(0, self.machine, backend=self.backend)
         per_touch = app_ref.refs_per_touch * self.machine.hit_time_s
         total_seconds = max(2.0, self.n_switches_target * q_s)
         n_touches = int(total_seconds / per_touch)

@@ -126,6 +126,7 @@ class PenaltyExperiment:
         tracer: typing.Optional[object] = None,
         metrics: typing.Optional[object] = None,
         profiler: typing.Optional[object] = None,
+        backend: typing.Optional[str] = None,
     ) -> None:
         if n_switches_target < 2:
             raise ValueError("need at least 2 switches for a measurement")
@@ -137,6 +138,8 @@ class PenaltyExperiment:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        #: cache engine for the regime processors (None = env var/default)
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
 
@@ -165,7 +168,7 @@ class PenaltyExperiment:
             partner_ref = partner.reference.reduced(self.scale)
             partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
 
-        proc = Processor(0, self.machine, tracer=self.tracer)
+        proc = Processor(0, self.machine, tracer=self.tracer, backend=self.backend)
         prof = self.profiler
         profiling = prof is not None and prof.enabled  # type: ignore[attr-defined]
         if profiling:

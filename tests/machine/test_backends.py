@@ -1,0 +1,267 @@
+"""The differential backend harness: numpy must equal the scalar spec.
+
+The scalar backend is the executable reference specification; every
+test here drives it and the vectorized numpy backend over the same
+inputs — random geometries, owner churn, arbitrary chunkings — and
+asserts *exact* agreement: hits per chunk, final way-by-way tag state,
+query results, regime-driver switch counts, and response times.
+
+Also covers backend selection (CLI > ``REPRO_BACKEND`` env var >
+default) and the 2**40 block-range validation added alongside the
+backend split (a block ≥ 2**40 used to alias silently into another
+owner's id bits).
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import MATRIX, MVA
+from repro.machine.backends import (
+    BACKEND_ENV_VAR,
+    BLOCK_MASK,
+    make_backend,
+    numpy_available,
+    resolve_backend_name,
+)
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
+from repro.machine.processor import Processor
+from repro.measure.penalty import PenaltyExperiment
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend requires numpy"
+)
+
+
+def tiny_spec(sets: int = 8, assoc: int = 2) -> MachineSpec:
+    line = 16
+    return dataclasses.replace(
+        SEQUENT_SYMMETRY, cache_size_bytes=sets * assoc * line, associativity=assoc
+    )
+
+
+class TestSelection:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend_name() == "scalar"
+        assert SetAssociativeCache(tiny_spec()).backend_name == "scalar"
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert resolve_backend_name() == "scalar"
+
+    @needs_numpy
+    def test_env_var_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert SetAssociativeCache(tiny_spec()).backend_name == "numpy"
+
+    @needs_numpy
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        cache = SetAssociativeCache(tiny_spec(), backend="scalar")
+        assert cache.backend_name == "scalar"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend_name("fortran")
+        with pytest.raises(ValueError):
+            SetAssociativeCache(tiny_spec(), backend="fortran")
+
+    def test_unknown_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(ValueError):
+            SetAssociativeCache(tiny_spec())
+
+    @needs_numpy
+    @pytest.mark.parametrize("sets,assoc", [(8, 4), (5, 2), (6, 4)])
+    def test_numpy_falls_back_on_unsupported_geometry(self, sets, assoc):
+        """The vectorized kernel covers only 2-way power-of-two sets."""
+        cache = SetAssociativeCache(tiny_spec(sets, assoc), backend="numpy")
+        assert cache.backend_name == "scalar"
+
+    def test_make_backend_reports_name(self):
+        backend = make_backend("scalar", tiny_spec())
+        assert backend.name == "scalar"
+
+
+class TestBlockRangeValidation:
+    """Satellite regression: packed tags reserve 40 bits for the block."""
+
+    @pytest.fixture(params=["scalar"] + (["numpy"] if numpy_available() else []))
+    def cache(self, request):
+        return SetAssociativeCache(tiny_spec(), backend=request.param)
+
+    def test_boundary_block_accepted(self, cache):
+        assert cache.access("t", BLOCK_MASK) is False
+        assert cache.access("t", BLOCK_MASK) is True
+        assert cache.contains("t", BLOCK_MASK)
+
+    def test_block_at_2_40_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.access("t", 1 << 40)
+        with pytest.raises(ValueError):
+            cache.access_batch("t", [0, 1, 1 << 40])
+
+    def test_negative_block_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.access_batch("t", [3, -1])
+
+    def test_rejected_chunk_leaves_state_untouched(self, cache):
+        """Validation is whole-chunk and up-front, not mid-loop."""
+        cache.access_batch("a", [0, 1, 2])
+        before = cache._backend.snapshot()
+        with pytest.raises(ValueError):
+            cache.access_batch("a", [3, 4, 1 << 40])
+        assert cache._backend.snapshot() == before
+        assert cache.stats.accesses == 3
+
+    def test_contains_rejects_out_of_range(self, cache):
+        """Pre-fix, contains() aliased block 2**40 into owner_id + 1."""
+        cache.access("a", 0)
+        cache.access("b", 0)  # owner id 1: tag (1 << 40) + 0
+        with pytest.raises(ValueError):
+            cache.contains("a", 1 << 40)
+
+    def test_dict_fallback_validates_too(self):
+        cache = SetAssociativeCache(tiny_spec(5, 4))
+        with pytest.raises(ValueError):
+            cache.access_batch("t", [1 << 40])
+
+
+@needs_numpy
+class TestDifferentialParity:
+    """Scalar vs numpy over random geometries, owner churn, chunkings."""
+
+    def _pair(self, sets):
+        spec = tiny_spec(sets)
+        return (
+            SetAssociativeCache(spec, backend="scalar"),
+            SetAssociativeCache(spec, backend="numpy"),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sets=st.sampled_from([1, 2, 8, 64, 512]),
+        seed=st.integers(0, 10_000),
+        n_steps=st.integers(1, 12),
+    )
+    def test_property_hits_state_and_queries_agree(self, sets, seed, n_steps):
+        scalar, vector = self._pair(sets)
+        rng = random.Random(seed)
+        owners = ["a", "b", "c", "d"]
+        for _ in range(n_steps):
+            owner = rng.choice(owners)
+            blocks = [
+                rng.randrange(0, sets * 4) for _ in range(rng.randint(1, 300))
+            ]
+            assert scalar.access_batch(owner, blocks) == vector.access_batch(
+                owner, blocks
+            )
+            if rng.random() < 0.25:
+                victim = rng.choice(owners)
+                assert scalar.evict_owner(victim) == vector.evict_owner(victim)
+            if rng.random() < 0.1:
+                assert scalar.flush() == vector.flush()
+        assert scalar._backend.snapshot() == vector._backend.snapshot()
+        assert scalar.resident_lines() == vector.resident_lines()
+        for owner in owners:
+            assert scalar.footprint(owner) == vector.footprint(owner)
+            for block in range(min(sets * 4, 64)):
+                assert scalar.contains(owner, block) == vector.contains(
+                    owner, block
+                )
+        for index in range(min(sets, 64)):
+            assert scalar.set_occupancy(index) == vector.set_occupancy(index)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        blocks=st.lists(st.integers(0, 99), min_size=1, max_size=400),
+        data=st.data(),
+    )
+    def test_property_chunking_invariance(self, blocks, data):
+        """Any split of the same stream yields identical hits and state."""
+        scalar, vector = self._pair(16)
+        i = 0
+        while i < len(blocks):
+            j = data.draw(st.integers(i + 1, len(blocks)), label="chunk end")
+            assert scalar.access_batch("t", blocks[i:j]) == vector.access_batch(
+                "t", blocks[i:j]
+            )
+            i = j
+        assert scalar._backend.snapshot() == vector._backend.snapshot()
+
+    def test_owner_id_recycling_keeps_parity(self):
+        """Churn far past the gc limit so ids recycle on both backends."""
+        spec = tiny_spec(8)
+        scalar = SetAssociativeCache(spec, backend="scalar")
+        vector = SetAssociativeCache(spec, backend="numpy")
+        rng = random.Random(5)
+        for step in range(300):
+            owner = f"task-{step}"
+            blocks = [rng.randrange(0, 32) for _ in range(rng.randint(1, 40))]
+            assert scalar.access_batch(owner, blocks) == vector.access_batch(
+                owner, blocks
+            )
+        assert scalar._backend.snapshot() == vector._backend.snapshot()
+        assert scalar.owner_lines() == vector.owner_lines()
+
+    def test_big_blocks_do_not_alias_after_narrowing(self):
+        """Regression: stale wide tags must never alias under int32 math."""
+        scalar, vector = self._pair(8)
+        big = [(1 << 30) + 3, BLOCK_MASK, 5, (1 << 30) + 3, BLOCK_MASK, 5]
+        assert scalar.access_batch("t", big) == vector.access_batch("t", big)
+        # Follow-up small-block chunks would be int32-eligible; the
+        # sticky wide flag must keep them exact anyway.
+        for _ in range(3):
+            small = [3, 11, 3, (1 << 30) + 3 & 0x7, 19]
+            assert scalar.access_batch("t", small) == vector.access_batch(
+                "t", small
+            )
+        assert scalar._backend.snapshot() == vector._backend.snapshot()
+
+    def test_stats_and_hit_rate_agree(self):
+        scalar, vector = self._pair(8)
+        blocks = [(i * 7) % 48 for i in range(5000)]
+        scalar.access_batch("t", blocks)
+        vector.access_batch("t", blocks)
+        assert scalar.stats.hits == vector.stats.hits
+        assert scalar.stats.misses == vector.stats.misses
+        assert scalar.stats.hit_rate == vector.stats.hit_rate
+
+
+@needs_numpy
+class TestDriverParity:
+    """Backend choice must not move a single scheduling decision."""
+
+    def test_touch_batch_costs_bit_identical(self):
+        spec = tiny_spec(64)
+        a = Processor(0, spec, backend="scalar")
+        b = Processor(0, spec, backend="numpy")
+        rng = random.Random(9)
+        for _ in range(50):
+            blocks = [rng.randrange(0, 256) for _ in range(rng.randint(1, 500))]
+            assert a.touch_batch("t", blocks, 4) == b.touch_batch("t", blocks, 4)
+        assert a.busy_time == b.busy_time
+
+    def test_penalty_regimes_identical(self):
+        """Switch counts exactly equal, response times to 1e-12 (here: exact)."""
+        results = {}
+        for backend in ("scalar", "numpy"):
+            exp = PenaltyExperiment(
+                scale=64, n_switches_target=10, min_run_s=0.4, backend=backend
+            )
+            results[backend] = exp.measure(MVA, 0.05, partners=(MATRIX,))
+        a, b = results["scalar"], results["numpy"]
+        for run_a, run_b in (
+            (a.stationary, b.stationary),
+            (a.migrating, b.migrating),
+            (a.multiprog["MATRIX"], b.multiprog["MATRIX"]),
+        ):
+            assert run_a.n_switches == run_b.n_switches
+            assert run_a.response_time == run_b.response_time
+            assert run_a.hit_rate == run_b.hit_rate
+        assert a.p_na_s == b.p_na_s
+        assert a.p_a_s("MATRIX") == b.p_a_s("MATRIX")

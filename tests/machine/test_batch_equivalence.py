@@ -11,6 +11,7 @@ The chunked Section 4 drivers rest on two facts proven here:
 """
 
 import dataclasses
+import math
 import random
 
 import pytest
@@ -18,6 +19,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.apps.reference import ReferenceGenerator, ReferenceSpec
 from repro.machine.batching import DEFAULT_CHUNK, batch_limit, worst_touch_cost
+from repro.machine.cache import SetAssociativeCache
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.machine.processor import Processor
 
@@ -50,6 +52,50 @@ class TestBatchLimit:
         assert cost == worst_touch_cost(
             proc.spec.miss_time_s, proc.spec.hit_time_s, 5
         )
+
+    def test_regression_exact_multiple_budget(self):
+        """0.1+0.1+0.1 over 0.1: float ceil() said 4, but (4-1)*0.1 equals
+        the budget instead of staying strictly below it — the clamp must
+        bring n back to 3."""
+        worst = 0.1
+        budget = 0.1 + 0.1 + 0.1  # 0.30000000000000004 > 3 * 0.1 in float
+        n = batch_limit(budget, worst, cap=10**9)
+        assert (n - 1) * worst < budget
+        assert n == 3
+
+
+@settings(max_examples=400, deadline=None)
+@given(
+    worst=st.one_of(
+        st.floats(min_value=1e-12, max_value=1e-3, allow_nan=False),
+        # subnormal-adjacent costs: the quotient budget/worst is huge and
+        # maximally rounding-prone
+        st.floats(min_value=5e-324, max_value=1e-300, allow_nan=False),
+    ),
+    k=st.integers(1, 100_000),
+    nudge=st.sampled_from(["exact", "up", "down"]),
+)
+def test_property_batch_limit_never_crosses_budget_early(worst, k, nudge):
+    """Adversarial budgets: exact multiples of the cost and their float
+    neighbours.  The driver contract is the strict inequality
+    ``(n - 1) * worst < budget`` evaluated in float — exactly what the
+    chunked regime loops rely on to keep rescheduling points in place."""
+    budget = worst * k
+    if nudge == "up":
+        budget = math.nextafter(budget, math.inf)
+    elif nudge == "down":
+        budget = math.nextafter(budget, 0.0)
+    if not (budget > 0.0 and math.isfinite(budget)):
+        return
+    n = batch_limit(budget, worst, cap=10**9)
+    assert n >= 1
+    assert (n - 1) * worst < budget
+    # No gross under-sizing either: at most one touch short of the budget
+    # (the documented one-touch tolerance of float chunk sizing).  Skip
+    # the check for subnormal costs, whose products have no relative
+    # rounding guarantee to reason with.
+    if worst >= 1e-12:
+        assert n == 10**9 or (n + 1) * worst > budget * (1.0 - 1e-9)
 
 
 class TestTouchBatch:
@@ -97,6 +143,132 @@ def test_property_touch_batch_equals_touch_loop(blocks, refs, data):
     assert batched.busy_time == pytest.approx(scalar.busy_time, rel=1e-9)
     for b in range(100):
         assert batched.cache.contains("t", b) == scalar.cache.contains("t", b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    geometry=st.sampled_from(
+        # flat 2-way fast path; 4-way, non-power-of-two sets, direct
+        # mapped, and both-at-once exercise the dict fallback
+        [(8, 2), (8, 4), (5, 2), (6, 4), (16, 1), (7, 3)]
+    ),
+    blocks=st.lists(st.integers(0, 99), min_size=1, max_size=300),
+    refs=st.integers(1, 8),
+    data=st.data(),
+)
+def test_property_batch_equals_loop_all_geometries(geometry, blocks, refs, data):
+    """The touch_batch contract holds on every storage layout, including
+    duplicate blocks within one chunk and arbitrary chunk splits."""
+    sets, assoc = geometry
+    scalar = Processor(0, tiny_spec(sets, assoc))
+    costs = [scalar.touch("t", b, refs) for b in blocks]
+    batched = Processor(0, tiny_spec(sets, assoc))
+    i = 0
+    while i < len(blocks):
+        j = data.draw(st.integers(i + 1, len(blocks)), label="chunk end")
+        cost = batched.touch_batch("t", blocks[i:j], refs)
+        assert cost == pytest.approx(sum(costs[i:j]), rel=1e-9)
+        i = j
+    assert batched.cache.stats.hits == scalar.cache.stats.hits
+    assert batched.cache.stats.misses == scalar.cache.stats.misses
+    for b in range(100):
+        assert batched.cache.contains("t", b) == scalar.cache.contains("t", b)
+
+
+class NaiveLru:
+    """Textbook N-way LRU: a list of (owner, block) per set, MRU at the end.
+
+    A third, deliberately naive implementation of the cache's contract,
+    used to referee the scalar backend's two storage layouts: if either
+    the flat fast path or the dict fallback diverged from plain LRU
+    semantics (eviction order, duplicate blocks in one chunk, state
+    after owner eviction), this model would catch it.
+    """
+
+    def __init__(self, sets: int, assoc: int) -> None:
+        self.n_sets = sets
+        self.assoc = assoc
+        self.sets = [[] for _ in range(sets)]
+
+    def access(self, owner, block) -> bool:
+        s = self.sets[block % self.n_sets]
+        key = (owner, block)
+        if key in s:
+            s.remove(key)
+            s.append(key)
+            return True
+        if len(s) >= self.assoc:
+            s.pop(0)
+        s.append(key)
+        return False
+
+    def contains(self, owner, block) -> bool:
+        return (owner, block) in self.sets[block % self.n_sets]
+
+    def footprint(self, owner) -> int:
+        return sum(1 for s in self.sets for (o, _) in s if o == owner)
+
+    def evict_owner(self, owner) -> int:
+        dropped = 0
+        for s in self.sets:
+            kept = [kv for kv in s if kv[0] != owner]
+            dropped += len(s) - len(kept)
+            s[:] = kept
+        return dropped
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    geometry=st.sampled_from([(8, 2), (8, 4), (5, 2), (6, 4), (16, 1), (3, 3)]),
+    seed=st.integers(0, 10_000),
+)
+def test_property_cache_matches_naive_lru_model(geometry, seed):
+    """Owner churn (past the id-recycling limit), duplicate-heavy chunks,
+    and owner eviction all agree with the naive model on every layout."""
+    sets, assoc = geometry
+    cache = SetAssociativeCache(tiny_spec(sets, assoc))
+    model = NaiveLru(sets, assoc)
+    rng = random.Random(seed)
+    # More distinct owners than the gc limit forces index rebuilds and
+    # owner-id recycling along the way.
+    owners = [f"o{i}" for i in range(cache._owner_gc_limit + 8)]
+    for _ in range(60):
+        owner = rng.choice(owners)
+        blocks = [rng.randrange(0, sets * 3) for _ in range(rng.randint(1, 30))]
+        hits = cache.access_batch(owner, blocks)
+        expected = sum(model.access(owner, b) for b in blocks)
+        assert hits == expected
+        if rng.random() < 0.2:
+            victim = rng.choice(owners)
+            assert cache.evict_owner(victim) == model.evict_owner(victim)
+        if rng.random() < 0.3:
+            probe = rng.choice(owners)
+            assert cache.footprint(probe) == model.footprint(probe)
+            block = rng.randrange(0, sets * 3)
+            assert cache.contains(probe, block) == model.contains(probe, block)
+    assert cache.resident_lines() == model.resident_lines()
+    for owner in owners:
+        assert cache.footprint(owner) == model.footprint(owner)
+        for block in range(sets * 3):
+            assert cache.contains(owner, block) == model.contains(owner, block)
+
+
+class TestSetOccupancyBounds:
+    """Regression: the dict fallback accepted negative set indices (Python
+    list wrap-around) where the fast path raised."""
+
+    @pytest.mark.parametrize("sets,assoc", [(8, 2), (5, 4)])
+    def test_out_of_range_raises_on_both_layouts(self, sets, assoc):
+        cache = SetAssociativeCache(tiny_spec(sets, assoc))
+        cache.access_batch("t", list(range(sets)))
+        with pytest.raises(IndexError):
+            cache.set_occupancy(-1)
+        with pytest.raises(IndexError):
+            cache.set_occupancy(sets)
+        assert sum(cache.set_occupancy(i) for i in range(sets)) == sets
 
 
 @settings(max_examples=20, deadline=None)

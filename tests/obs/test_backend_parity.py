@@ -1,0 +1,132 @@
+"""Observability parity across cache backends (satellite of the
+multi-backend core).
+
+A trace captured with the numpy backend must be indistinguishable from
+the scalar reference: zero invariant violations, exact response-time
+reconstruction under replay, and ``repro diff`` of scalar-vs-numpy
+traces of the *same* run reporting zero divergence.  Because the
+backends produce identical hits on identical chunkings, every timestamp
+and record must be bit-identical — which these tests assert.
+"""
+
+import pytest
+
+from repro.apps import MATRIX, MVA
+from repro.apps.gravity import GravityParams, GravityPhase, GravitySpec
+from repro.apps.mva import MvaParams, MvaSpec
+from repro.core.policies import DYN_AFF
+from repro.core.system import SchedulingSystem
+from repro.engine.rng import RngRegistry
+from repro.machine.backends import numpy_available
+from repro.machine.cache_oracle import SimulatedCacheFootprint
+from repro.measure.penalty import PenaltyExperiment
+from repro.obs import Tracer
+from repro.obs.analysis import diff_traces
+from repro.obs.invariants import check_trace
+from repro.obs.records import record_to_dict
+from repro.obs.replay import verify_replay
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="backend parity needs the numpy backend"
+)
+
+#: Scaled-down applications so the simulated-cache runs stay fast
+#: (mirrors tests/core/test_oracle_validation.py).
+MINI_MVA = MvaSpec(MvaParams(customers=10, stations=10, mean_service_s=0.12))
+MINI_GRAVITY = GravitySpec(
+    GravityParams(
+        n_timesteps=6,
+        sequential_service_s=0.15,
+        phases=(
+            GravityPhase("partition", n_threads=16, mean_service_s=0.03),
+            GravityPhase("force", n_threads=24, mean_service_s=0.025),
+            GravityPhase("update", n_threads=24, mean_service_s=0.025),
+            GravityPhase("collect", n_threads=12, mean_service_s=0.02),
+        ),
+    )
+)
+
+
+def run_traced(backend, seed=3):
+    """One scheduling run against the simulated-cache oracle on ``backend``."""
+    rng = RngRegistry(seed)
+    jobs = [
+        MINI_MVA.make_job(rng.stream("mva"), n_processors=8),
+        MINI_GRAVITY.make_job(rng.stream("grav"), n_processors=8),
+    ]
+    oracle = SimulatedCacheFootprint(
+        {"MVA": MINI_MVA.reference, "GRAVITY": MINI_GRAVITY.reference},
+        scale=64,
+        seed=seed,
+        backend=backend,
+    )
+    tracer = Tracer()
+    result = SchedulingSystem(
+        jobs,
+        DYN_AFF,
+        n_processors=8,
+        seed=seed,
+        rng=rng.spawn("system"),
+        footprint_model=oracle,
+        tracer=tracer,
+    ).run()
+    return tracer.records, result
+
+
+@pytest.fixture(scope="module")
+def traced_pair():
+    scalar = run_traced("scalar")
+    vector = run_traced("numpy")
+    return scalar, vector
+
+
+class TestSchedulingTraceParity:
+    def test_numpy_trace_passes_invariants(self, traced_pair):
+        _, (records, _) = traced_pair
+        assert check_trace(records) == []
+
+    def test_numpy_trace_replays_exactly(self, traced_pair):
+        _, (records, result) = traced_pair
+        assert verify_replay(records, result) == []
+
+    def test_diff_reports_zero_divergence(self, traced_pair):
+        (rec_a, _), (rec_b, _) = traced_pair
+        diff = diff_traces(rec_a, rec_b, label_a="scalar", label_b="numpy")
+        assert diff.identical
+        assert diff.first_divergence is None
+        assert diff.first_divergent_decision is None
+        assert diff.mean_response_delta == 0.0
+        assert diff.makespan_delta == 0.0
+        for deltas in diff.job_deltas.values():
+            assert deltas["response_time_delta"] == 0.0
+
+    def test_response_times_bit_identical(self, traced_pair):
+        (_, res_a), (_, res_b) = traced_pair
+        assert set(res_a.jobs) == set(res_b.jobs)
+        for name in res_a.jobs:
+            assert res_a.jobs[name].response_time == res_b.jobs[name].response_time
+
+
+class TestPenaltyTraceParity:
+    """Cache-level records (CacheBatch / CacheFlush) compared directly."""
+
+    @staticmethod
+    def _penalty_records(backend):
+        tracer = Tracer()
+        exp = PenaltyExperiment(
+            scale=64,
+            n_switches_target=8,
+            min_run_s=0.3,
+            tracer=tracer,
+            backend=backend,
+        )
+        exp.measure(MVA, 0.05, partners=(MATRIX,))
+        return tracer.records
+
+    def test_cache_batch_streams_bit_identical(self):
+        rec_a = self._penalty_records("scalar")
+        rec_b = self._penalty_records("numpy")
+        assert len(rec_a) > 0
+        assert len(rec_a) == len(rec_b)
+        for a, b in zip(rec_a, rec_b):
+            assert record_to_dict(a) == record_to_dict(b)
