@@ -30,6 +30,7 @@ import dataclasses
 import random
 import typing
 
+from repro.apps.refgen import make_generator_backend
 from repro.machine.footprint import FootprintCurve, LinearFootprintCurve
 from repro.machine.params import MachineSpec
 
@@ -67,6 +68,10 @@ class ReferenceSpec:
             raise ValueError("reuse_window must be at least 1")
         if self.n_phases < 1:
             raise ValueError("n_phases must be at least 1")
+        if self.n_phases > self.data_blocks:
+            # Each phase owns a data_blocks // n_phases region; more
+            # phases than blocks would make every region empty.
+            raise ValueError("n_phases cannot exceed data_blocks")
         if self.n_phases > 1 and self.phase_touches < 1:
             raise ValueError("phased streams need phase_touches >= 1")
         if self.cold_pattern not in ("uniform", "sequential"):
@@ -108,7 +113,7 @@ class ReferenceSpec:
         if scale < 1:
             raise ValueError("scale must be at least 1")
         return ReferenceSpec(
-            data_blocks=max(1, self.data_blocks // scale),
+            data_blocks=max(self.n_phases, self.data_blocks // scale),
             p_reuse=self.p_reuse,
             refs_per_touch=self.refs_per_touch * scale,
             reuse_window=max(1, self.reuse_window // scale),
@@ -146,14 +151,32 @@ class ReferenceGenerator:
     O(1) bounded append.  The element order and random-number consumption
     match the deque formulation exactly, so streams are unchanged.
 
+    Stream production is delegated to a pluggable engine
+    (:mod:`repro.apps.refgen`): the scalar ring-buffer loop is the
+    executable specification, and the numpy engine reproduces its stream
+    bit-for-bit by parsing the raw Mersenne Twister word stream in bulk.
+    ``backend`` selects the engine like the cache backends do (explicit
+    argument > ``REPRO_BACKEND`` env var > scalar); requesting ``numpy``
+    on a stream the vectorized engine cannot cover (phased specs, a
+    non-stock rng) silently falls back — ``backend_name`` reports the
+    engine actually running.
+
     :meth:`next_blocks` is the batch entry point used by the chunked
-    Section 4 drivers: it produces a whole chunk of touches per call with
-    all hot state in locals, and is stream-equivalent to calling
-    :meth:`next_block` the same number of times (property-tested in
-    ``tests/apps/test_reference.py``).
+    Section 4 drivers; :meth:`next_blocks_array` is the fused path that
+    hands the numpy engine's native ``int64`` array straight to
+    ``SetAssociativeCache.access_batch`` without building a Python list.
+    Both are stream-equivalent to calling :meth:`next_block` the same
+    number of times, for any chunking (property-tested in
+    ``tests/apps/test_reference.py`` and differentially tested across
+    engines in ``tests/apps/test_refgen_backends.py``).
     """
 
-    def __init__(self, spec: ReferenceSpec, rng: random.Random) -> None:
+    def __init__(
+        self,
+        spec: ReferenceSpec,
+        rng: random.Random,
+        backend: typing.Optional[str] = None,
+    ) -> None:
         self.spec = spec
         self._rng = rng
         # Ring buffer of the last `reuse_window` appended blocks:
@@ -166,6 +189,12 @@ class ReferenceGenerator:
         self._touches_in_phase = 0
         self._region_size = spec.data_blocks // spec.n_phases
         self._scan = 0
+        self._engine = make_generator_backend(backend, self)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the stream engine in use (after any fallback)."""
+        return self._engine.name
 
     @property
     def current_phase(self) -> int:
@@ -183,79 +212,21 @@ class ReferenceGenerator:
         the same random draws produce the same blocks and leave the
         generator in the same state, for any chunking of the stream.
         """
-        spec = self.spec
-        rng = self._rng
-        random_ = rng.random
-        randrange = rng.randrange
-        # Random.choice(seq) is seq[rng._randbelow(len(seq))]; drawing the
-        # index directly keeps the stream identical to the deque-based
-        # formulation while the ring makes the lookup O(1).
-        randbelow = getattr(rng, "_randbelow", randrange)
-        p_reuse = spec.p_reuse
-        n_phases = spec.n_phases
-        phase_touches = spec.phase_touches
-        sequential = spec.cold_pattern == "sequential"
-        data_blocks = spec.data_blocks
-        region = self._region_size
-        region_draw = region if region >= 1 else 1
-        cap = spec.reuse_window
-        buf = self._recent_buf
-        start = self._recent_start
-        length = self._recent_len
-        phase = self._phase
-        tip = self._touches_in_phase
-        scan = self._scan
-        last = buf[(start + length - 1) % cap] if length else -1
-        out: typing.List[int] = []
-        append_out = out.append
-        for _ in range(n):
-            if n_phases > 1:
-                tip += 1
-                if tip > phase_touches:
-                    # Advance to the next region and drop the hot set
-                    # (a new computation begins).
-                    phase = (phase + 1) % n_phases
-                    tip = 0
-                    start = 0
-                    length = 0
-                    last = -1
-                    scan = phase * region
-            if length and random_() < p_reuse:
-                # Hot-set revisit: does not enter the recency window.
-                append_out(buf[(start + randbelow(length)) % cap])
-                continue
-            if sequential:
-                block = scan
-                scan += 1
-                if n_phases > 1:
-                    base = phase * region
-                    if scan >= base + region:
-                        scan = base
-                elif scan >= data_blocks:
-                    scan = 0
-            elif n_phases > 1:
-                block = phase * region + randrange(region_draw)
-            else:
-                block = randrange(data_blocks)
-            if block != last:
-                if length < cap:
-                    buf[(start + length) % cap] = block
-                    length += 1
-                else:
-                    buf[start] = block
-                    start += 1
-                    if start == cap:
-                        start = 0
-                last = block
-            append_out(block)
-        self._recent_start = start
-        self._recent_len = length
-        self._phase = phase
-        self._touches_in_phase = tip
-        self._scan = scan
-        return out
+        return self._engine.next_blocks(n)
+
+    def next_blocks_array(self, n: int):
+        """The next ``n`` touches as a numpy ``int64`` array.
+
+        Same stream as :meth:`next_blocks`, but the numpy engine returns
+        its native array directly — the fused generator→cache path.
+        Requires numpy regardless of engine (the scalar engine converts).
+        """
+        return self._engine.next_blocks_array(n)
 
     def reset(self) -> None:
         """Forget the hot set (e.g. at an application phase change)."""
+        # Engine state (mirrored rng, normalized ring history) must be
+        # materialized back onto this object before we mutate the ring.
+        self._engine.invalidate()
         self._recent_start = 0
         self._recent_len = 0

@@ -551,7 +551,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_t1.add_argument(
         "--backend", choices=("scalar", "numpy"), default=None,
-        help="cache engine (default: REPRO_BACKEND env var, then scalar)",
+        help="cache and reference-generator engine "
+        "(default: REPRO_BACKEND env var, then scalar)",
     )
     p_t1.set_defaults(func=cmd_table1)
 

@@ -47,7 +47,8 @@ class SimulatedCacheFootprint:
         scale: fidelity reduction (see :func:`reduced_machine`); penalties
             in seconds are scale-invariant.
         seed: master seed for the per-task reference streams.
-        backend: cache engine name for the per-processor simulators
+        backend: engine name for both the per-processor cache simulators
+            and the reference-stream generators
             (None = ``REPRO_BACKEND`` env var, falling back to scalar).
     """
 
@@ -105,8 +106,15 @@ class SimulatedCacheFootprint:
         )
         generator = self._generators.get(task)
         if generator is None:
-            generator = ReferenceGenerator(ref, self._rng.stream(str(task)))
+            generator = ReferenceGenerator(
+                ref, self._rng.stream(str(task)), backend=self.backend
+            )
             self._generators[task] = generator
+        draw = (
+            generator.next_blocks_array
+            if generator.backend_name == "numpy"
+            else generator.next_blocks
+        )
         elapsed = 0.0
         hit_cost = ref.refs_per_touch * self.reduced.hit_time_s
         miss_cost = worst_touch_cost(
@@ -117,7 +125,7 @@ class SimulatedCacheFootprint:
         # the stint ends after the same touch as the scalar loop did.
         while elapsed < duration:
             n = batch_limit(duration - elapsed, miss_cost)
-            hits = cache.access_batch(task, generator.next_blocks(n))
+            hits = cache.access_batch(task, draw(n))
             elapsed += hits * hit_cost + (n - hits) * miss_cost
             self.touches_simulated += n
         state = self._tasks.setdefault(task, _TaskState())

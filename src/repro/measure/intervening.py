@@ -83,7 +83,8 @@ class InterveningExperiment:
         self.scale = scale
         self.n_switches_target = n_switches_target
         self.seed = seed
-        #: cache engine for the regime processors (None = env var/default)
+        #: engine for the regime processors' caches *and* the reference
+        #: generators (None = env var/default)
         self.backend = backend
 
     def measure(
@@ -120,10 +121,18 @@ class InterveningExperiment:
         rng = RngRegistry(self.seed).spawn(f"{app.name}/{q_s:g}")
         app_ref = app.reference.reduced(self.scale)
         partner_ref = partner.reference.reduced(self.scale)
-        gen = ReferenceGenerator(app_ref, rng.stream("app"))
+        gen = ReferenceGenerator(app_ref, rng.stream("app"), backend=self.backend)
+        # Fused path: numpy generators hand int64 arrays to touch_batch.
+        draw = gen.next_blocks_array if gen.backend_name == "numpy" else gen.next_blocks
         intervening = [
-            ReferenceGenerator(partner_ref, rng.stream(f"partner{i}"))
+            ReferenceGenerator(
+                partner_ref, rng.stream(f"partner{i}"), backend=self.backend
+            )
             for i in range(max(0, n_intervening))
+        ]
+        intervening_draws = [
+            g.next_blocks_array if g.backend_name == "numpy" else g.next_blocks
+            for g in intervening
         ]
         proc = Processor(0, self.machine, backend=self.backend)
         per_touch = app_ref.refs_per_touch * self.machine.hit_time_s
@@ -145,9 +154,7 @@ class InterveningExperiment:
         remaining = n_touches
         while remaining:
             n = min(remaining, batch_limit(slice_left, app_worst))
-            cost = proc.touch_batch(
-                "measured", gen.next_blocks(n), app_ref.refs_per_touch
-            )
+            cost = proc.touch_batch("measured", draw(n), app_ref.refs_per_touch)
             response_time += cost
             slice_left -= cost
             remaining -= n
@@ -157,13 +164,13 @@ class InterveningExperiment:
                 if n_intervening < 0:
                     proc.flush_cache()
                 else:
-                    for index, partner_gen in enumerate(intervening):
+                    for index, partner_draw in enumerate(intervening_draws):
                         budget = q_s
                         while budget > 0.0:
                             k = batch_limit(budget, partner_worst)
                             budget -= proc.touch_batch(
                                 f"partner{index}",
-                                partner_gen.next_blocks(k),
+                                partner_draw(k),
                                 partner_ref.refs_per_touch,
                             )
         return response_time, switches

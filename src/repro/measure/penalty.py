@@ -138,7 +138,8 @@ class PenaltyExperiment:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
-        #: cache engine for the regime processors (None = env var/default)
+        #: engine for the regime processors' caches *and* the reference
+        #: generators (None = env var/default)
         self.backend = backend
 
     # ------------------------------------------------------------------ #
@@ -161,12 +162,24 @@ class PenaltyExperiment:
         """Execute the measured program once under one regime."""
         rng = RngRegistry(self.seed).spawn(f"{app.name}/q{q_s:g}")
         app_ref = app.reference.reduced(self.scale)
-        gen = ReferenceGenerator(app_ref, rng.stream("app"))
+        gen = ReferenceGenerator(app_ref, rng.stream("app"), backend=self.backend)
+        # Fused path: the numpy engine's native int64 array feeds
+        # Processor.touch_batch (and the numpy cache) without ever
+        # building a Python list.
+        draw = gen.next_blocks_array if gen.backend_name == "numpy" else gen.next_blocks
         partner_gen = None
         partner_ref = None
+        partner_draw = None
         if partner is not None:
             partner_ref = partner.reference.reduced(self.scale)
-            partner_gen = ReferenceGenerator(partner_ref, rng.stream("partner"))
+            partner_gen = ReferenceGenerator(
+                partner_ref, rng.stream("partner"), backend=self.backend
+            )
+            partner_draw = (
+                partner_gen.next_blocks_array
+                if partner_gen.backend_name == "numpy"
+                else partner_gen.next_blocks
+            )
 
         proc = Processor(0, self.machine, tracer=self.tracer, backend=self.backend)
         prof = self.profiler
@@ -194,9 +207,13 @@ class PenaltyExperiment:
         remaining = n_touches
         while remaining:
             n = min(remaining, batch_limit(slice_left, app_worst))
-            cost = proc.touch_batch(
-                "measured", gen.next_blocks(n), app_ref.refs_per_touch
-            )
+            if profiling:
+                prof.push("generator")  # type: ignore[attr-defined]
+                blocks = draw(n)
+                prof.pop()  # type: ignore[attr-defined]
+            else:
+                blocks = draw(n)
+            cost = proc.touch_batch("measured", blocks, app_ref.refs_per_touch)
             response_time += cost
             slice_left -= cost
             remaining -= n
@@ -206,13 +223,19 @@ class PenaltyExperiment:
                 if regime == "migrating":
                     proc.flush_cache()
                 elif regime == "multiprog":
-                    assert partner_gen is not None and partner_ref is not None
+                    assert partner_draw is not None and partner_ref is not None
                     budget = q_s
                     while budget > 0.0:
                         k = batch_limit(budget, partner_worst)
+                        if profiling:
+                            prof.push("generator")  # type: ignore[attr-defined]
+                            partner_blocks = partner_draw(k)
+                            prof.pop()  # type: ignore[attr-defined]
+                        else:
+                            partner_blocks = partner_draw(k)
                         budget -= proc.touch_batch(
                             "partner",
-                            partner_gen.next_blocks(k),
+                            partner_blocks,
                             partner_ref.refs_per_touch,
                         )
         if profiling:

@@ -6,8 +6,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.reference import ReferenceGenerator, ReferenceSpec, reduced_machine
+from repro.apps.refgen import numpy_available
 from repro.machine.footprint import FootprintCurve, LinearFootprintCurve
 from repro.machine.params import SEQUENT_SYMMETRY
+
+#: Stream engines to drive the chunking properties through (the numpy
+#: engine must be stream-equivalent to the scalar loop for any chunking).
+BACKENDS = ("scalar", "numpy") if numpy_available() else ("scalar",)
 
 
 def spec(**overrides):
@@ -34,6 +39,12 @@ class TestValidation:
     def test_rejects_phases_without_touches(self):
         with pytest.raises(ValueError):
             spec(n_phases=4)
+
+    def test_rejects_more_phases_than_blocks(self):
+        # data_blocks // n_phases == 0 would give every phase an empty
+        # region (regression: used to build a generator that crashed).
+        with pytest.raises(ValueError):
+            spec(data_blocks=4, n_phases=8, phase_touches=3)
 
     def test_rejects_unknown_pattern(self):
         with pytest.raises(ValueError):
@@ -97,6 +108,14 @@ class TestReducedFidelity:
             spec().reduced(0)
         with pytest.raises(ValueError):
             reduced_machine(SEQUENT_SYMMETRY, 0)
+
+    def test_reduced_keeps_phases_within_blocks(self):
+        # Aggressive scales must not shrink the address space below the
+        # phase count (the reduced spec would fail its own validation).
+        s = spec(data_blocks=64, n_phases=16, phase_touches=10)
+        r = s.reduced(32)
+        assert r.data_blocks >= r.n_phases
+        assert r.n_phases == 16
 
 
 class TestGenerator:
@@ -237,18 +256,24 @@ class TestBatchStreamEquivalence:
         assert sa + a.next_blocks(400) == sb + [b.next_block() for _ in range(400)]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=30, deadline=None)
 @given(
     s=st.sampled_from(GENERATOR_SPECS),
     seed=st.integers(0, 1000),
     data=st.data(),
 )
-def test_property_any_chunking_yields_same_stream(s, seed, data):
-    """next_blocks is stream-equivalent for arbitrary chunk boundaries."""
+def test_property_any_chunking_yields_same_stream(backend, s, seed, data):
+    """next_blocks is stream-equivalent for arbitrary chunk boundaries.
+
+    Runs once per available engine: the scalar loop against itself (any
+    chunking of the specification agrees), and the numpy engine against
+    the touch-by-touch scalar loop (the vectorized parse is exact).
+    """
     total = 1200
-    scalar = ReferenceGenerator(s, random.Random(seed))
+    scalar = ReferenceGenerator(s, random.Random(seed), backend="scalar")
     expected = [scalar.next_block() for _ in range(total)]
-    chunked = ReferenceGenerator(s, random.Random(seed))
+    chunked = ReferenceGenerator(s, random.Random(seed), backend=backend)
     got = []
     while len(got) < total:
         n = data.draw(st.integers(1, total - len(got)), label="chunk")
