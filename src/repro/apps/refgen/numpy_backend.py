@@ -203,13 +203,22 @@ class _VecState:
         have = self.wlen - self.woff
         if have >= need:
             return self.wstore[self.woff:self.wlen]
-        # Compact leftover words to the front of the store.
+        # Compact the store's front, but never drop past the start of
+        # the 624-word block holding the current position: resync must
+        # untemper that whole block to rebuild the Python key, and the
+        # position only moves forward, so keeping it suffices forever.
         if self.woff:
-            if have:
-                self.wstore[:have] = self.wstore[self.woff:self.wlen]
-            self.store_c0 += self.woff
-            self.wlen = have
-            self.woff = 0
+            v1 = self.pos0 + self.store_c0 + self.woff
+            b_keep = (v1 - 1) // 624 if v1 > 0 else 0
+            drop = min(
+                self.woff, max(0, b_keep * 624 - self.pos0 - self.store_c0)
+            )
+            if drop:
+                keep = self.wlen - drop
+                self.wstore[:keep] = self.wstore[drop:self.wlen]
+                self.store_c0 += drop
+                self.wlen = keep
+                self.woff -= drop
         virt_end = self.pos0 + self.consumed + have
         target = self.pos0 + self.consumed + need
         target = ((target + 623) // 624) * 624  # block-align (virtual index)
@@ -224,7 +233,7 @@ class _VecState:
             0, 2 ** 32, size=n_new, dtype=U32
         )
         self.wlen += n_new
-        return self.wstore[:self.wlen]
+        return self.wstore[self.woff:self.wlen]
 
     def advance(self, nwords: int) -> None:
         self.woff += nwords

@@ -12,6 +12,7 @@ Usage::
     python -m repro section8                # time-sharing contrast
     python -m repro hierarchy               # Section 7.2 sqrt-memory law
     python -m repro trace [--mix K] [--policy P] [--out F]  # JSONL trace
+    python -m repro opensys [--scenario S] [--swf F]    # open-system matrix
     python -m repro analyze TRACE [--window S]  # attribution + interval series
     python -m repro diff TRACE_A TRACE_B        # why do two runs differ?
     python -m repro all                     # everything (slow)
@@ -416,6 +417,92 @@ def cmd_trace(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_opensys(args: argparse.Namespace) -> None:
+    """Open-system (scenario x policy x seed) matrix, or an SWF replay.
+
+    Renders the seed-aggregated cell table; ``--json`` exports it,
+    ``--metrics`` prints per-cell merged snapshots, and ``--trace``
+    additionally runs one fully traced cell (first scenario, first
+    policy, base seed), self-checks the trace against the invariant and
+    replay oracles, and writes it as JSONL — exiting non-zero if either
+    oracle objects, exactly like ``repro trace``.
+    """
+    from repro.reporting.opensys_report import matrix_to_json, render_matrix_table
+    from repro.workloads.opensys import (
+        SwfScenario,
+        built_in_scenarios,
+        run_matrix,
+        run_scenario,
+    )
+
+    if args.swf:
+        scenarios: typing.List[typing.Any] = [
+            SwfScenario.from_file(
+                args.swf,
+                time_scale=args.time_scale,
+                work_scale=args.work_scale,
+                max_jobs=args.max_jobs,
+            )
+        ]
+    else:
+        built = built_in_scenarios(lite=args.lite, n_processors=args.processors)
+        if args.scenario == "all":
+            scenarios = list(built.values())
+        else:
+            scenarios = [built[args.scenario]]
+    policy_names = args.policy or sorted(_POLICY_BY_NAME)
+    policies = [_POLICY_BY_NAME[name] for name in policy_names]
+
+    comparison = run_matrix(
+        scenarios,
+        policies,
+        seeds=args.seeds,
+        base_seed=args.seed,
+        n_processors=args.processors,
+        workers=args.workers,
+        collect_metrics=args.metrics,
+    )
+    print(render_matrix_table(comparison))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(matrix_to_json(comparison))
+        print(f"wrote matrix JSON to {args.json}")
+    if args.metrics:
+        for key in sorted(comparison.metrics):
+            _print_snapshot(comparison.metrics[key], label="/".join(key))
+
+    if args.trace:
+        from repro.obs import Tracer
+        from repro.obs.invariants import check_trace
+        from repro.obs.replay import verify_replay
+        from repro.reporting.obs_export import trace_to_jsonl
+
+        tracer = Tracer()
+        result = run_scenario(
+            scenarios[0],
+            policies[0],
+            seed=args.seed,
+            n_processors=args.processors,
+            tracer=tracer,
+        )
+        violations = check_trace(tracer.records)
+        replay_errors = verify_replay(tracer.records, result.system)
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_jsonl(tracer.records))
+        print(
+            f"wrote {len(tracer.records)} records for scenario "
+            f"{result.scenario!r} under {result.policy} to {args.trace}"
+        )
+        print(f"invariant violations: {len(violations)}")
+        for message in violations[:20]:
+            print(f"  {message}")
+        print("replay check: " + ("exact" if not replay_errors else "MISMATCH"))
+        for message in replay_errors[:20]:
+            print(f"  {message}")
+        if violations or replay_errors:
+            raise SystemExit(1)
+
+
 def cmd_analyze(args: argparse.Namespace) -> None:
     """Time attribution + interval series (+ timeline) for a trace file.
 
@@ -639,6 +726,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="include every engine event firing in the trace (verbose)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_os = sub.add_parser(
+        "opensys",
+        help="open-system scenarios: arrivals, disruptions, SWF replay",
+    )
+    p_os.add_argument(
+        "--scenario",
+        choices=("steady", "bursty", "cancellations", "failures", "all"),
+        default="all",
+        help="built-in scenario to run (default: all four)",
+    )
+    p_os.add_argument(
+        "--policy", action="append", choices=sorted(_POLICY_BY_NAME),
+        default=None, metavar="NAME",
+        help="policy to include, repeatable (default: all five)",
+    )
+    p_os.add_argument(
+        "--seeds", type=int, default=3,
+        help="number of seeds per cell, starting at --seed (default: 3)",
+    )
+    p_os.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "run seeds across N worker processes; results are identical "
+            "to a serial run (default: serial)"
+        ),
+    )
+    p_os.add_argument("--processors", type=int, default=16)
+    p_os.add_argument(
+        "--lite", action="store_true",
+        help="fast synthetic job templates instead of the real app specs",
+    )
+    p_os.add_argument(
+        "--swf", type=str, default=None, metavar="FILE",
+        help="replay this Standard Workload Format trace instead of a "
+        "built-in scenario",
+    )
+    p_os.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="X",
+        help="divide SWF submit times by X (default: 1)",
+    )
+    p_os.add_argument(
+        "--work-scale", type=float, default=1.0, metavar="X",
+        help="divide SWF runtimes by X (default: 1)",
+    )
+    p_os.add_argument(
+        "--max-jobs", type=int, default=0, metavar="N",
+        help="truncate the SWF trace to its first N jobs (default: all)",
+    )
+    p_os.add_argument(
+        "--json", type=str, default=None, metavar="FILE",
+        help="write the per-cell matrix summary as JSON to this file",
+    )
+    p_os.add_argument(
+        "--metrics", action="store_true",
+        help="print per-cell merged JSON metrics snapshots after the table",
+    )
+    p_os.add_argument(
+        "--trace", type=str, default=None, metavar="FILE",
+        help="also run one traced cell (first scenario/policy, base seed), "
+        "self-check it, and write the JSONL trace here",
+    )
+    p_os.set_defaults(func=cmd_opensys)
 
     p_an = sub.add_parser(
         "analyze",

@@ -48,12 +48,14 @@ class ProcessorRecord:
         self.idle_since: typing.Optional[float] = None
         #: pending yield-delay event handle (dynamic policies only)
         self.yield_handle: typing.Optional[object] = None
+        #: False while the processor is failed (open-system disruptions)
+        self.online = True
         self.history = ProcessorHistory(depth=history_depth)
 
     @property
     def is_free(self) -> bool:
-        """Unallocated."""
-        return self.job is None
+        """Unallocated and online (an offline processor is never granted)."""
+        return self.job is None and self.online
 
     @property
     def is_busy(self) -> bool:
@@ -105,6 +107,10 @@ class Allocator:
     def free_processors(self) -> typing.List[ProcessorRecord]:
         """Unallocated processors, in id order."""
         return [p for p in self.procs if p.is_free]
+
+    def online_count(self) -> int:
+        """Processors currently online (the machine size policies see)."""
+        return sum(1 for p in self.procs if p.online)
 
     def willing_processors(self, exclude: Job) -> typing.List[ProcessorRecord]:
         """Yield-delay-window processors claimable by other jobs (D.2)."""
@@ -221,7 +227,7 @@ class Allocator:
         """
         ordered = sorted(self.jobs, key=lambda j: (-len(j.workers), j.name))
         caps = {job.name: len(job.workers) for job in ordered}
-        return equipartition_allocation(caps, len(self.procs))
+        return equipartition_allocation(caps, self.online_count())
 
     def rebalance_equipartition(self) -> None:
         """Move processors so every job holds its allocation number.

@@ -35,8 +35,12 @@ from repro.engine.simulator import Simulator
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.records import (
     AllocationChange,
+    CacheFlush,
+    CpuFailure,
+    CpuRecovery,
     Dispatch,
     JobArrival,
+    JobCancelled,
     JobDeparture,
     RunConfig,
     RunEnd,
@@ -88,6 +92,9 @@ class SystemResult:
     seed: int
     makespan: float
     jobs: typing.Dict[str, JobMetrics]
+    #: job name -> cancellation timestamp (open-system disruptions only;
+    #: cancelled jobs never appear in ``jobs``)
+    cancelled: typing.Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def mean_response_time(self) -> float:
         """Average job response time, the paper's primary metric."""
@@ -148,6 +155,7 @@ class SchedulingSystem:
         self._alloc_mark: typing.Dict[str, float] = {}
         self._alloc_count: typing.Dict[str, int] = {}
         self._busy_count: typing.Dict[str, int] = {}
+        self._arrival_handles: typing.Dict[str, object] = {}
         self._finished_jobs = 0
         #: optional allocation-timeline recorder (see repro.core.trace)
         self.trace = trace
@@ -191,7 +199,9 @@ class SchedulingSystem:
                 )
             )
         for job, arrival in zip(self.jobs, self._arrivals):
-            self.sim.at(
+            if job.cancelled:
+                continue  # cancelled before the run started
+            self._arrival_handles[job.name] = self.sim.at(
                 arrival,
                 lambda j=job: self._arrive(j),
                 priority=_ARRIVAL_PRIORITY,
@@ -211,7 +221,9 @@ class SchedulingSystem:
         if self.metrics is not None:
             self.metrics.gauge("run/makespan_s").set(self.now)
             self.metrics.counter("run/events_fired").inc(self.sim.events_fired)
-        unfinished = [job.name for job in self.jobs if not job.finished]
+        unfinished = [
+            job.name for job in self.jobs if not job.finished and not job.cancelled
+        ]
         if unfinished and until is None:
             raise RuntimeError(
                 f"simulation stalled with unfinished jobs: {unfinished}"
@@ -223,6 +235,11 @@ class SchedulingSystem:
             seed=self.seed,
             makespan=self.now,
             jobs=metrics,
+            cancelled={
+                job.name: job.cancelled_time
+                for job in self.jobs
+                if job.cancelled_time is not None
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -260,6 +277,95 @@ class SchedulingSystem:
         self._finished_jobs += 1
         if self._finished_jobs == len(self.jobs):
             self.sim.stop()
+
+    # ------------------------------------------------------------------ #
+    # open-system disruptions (see repro.workloads.opensys)
+
+    def cancel_job(self, job: Job) -> bool:
+        """Cancel ``job``: before arrival it never enters; after arrival its
+        processors are released and its partial work stays accounted.
+
+        Returns:
+            True if the job was cancelled, False if it had already finished
+            or been cancelled (an idempotent no-op that emits nothing).
+        """
+        if job not in self.jobs:
+            raise ValueError(f"job {job.name!r} is not part of this system")
+        if job.finished or job.cancelled:
+            return False
+        arrived = job.name in self._alloc_mark
+        if arrived:
+            for proc in self.allocator.procs:
+                if proc.job is job and proc.worker is not None:
+                    self.preempt_processor(proc)
+            self._touch_allocation(job)
+        else:
+            handle = self._arrival_handles.get(job.name)
+            if handle is not None:
+                self.sim.cancel(handle)
+        job.cancelled_time = self.now
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                JobCancelled(time=self.now, job=job.name, work_done=job.work_done)
+            )
+        if self.metrics is not None:
+            self.metrics.counter("jobs/cancelled").inc()
+            self.metrics.counter("jobs/cancelled_work_s").inc(job.work_done)
+        if arrived:
+            self.allocator.job_departed(job)
+        self._finished_jobs += 1
+        if self._finished_jobs == len(self.jobs):
+            self.sim.stop()
+        return True
+
+    def fail_processor(self, cpu_id: int) -> None:
+        """Take processor ``cpu_id`` offline, losing its cache contents.
+
+        A running worker is suspended (its partial work preserved), the
+        processor is released and marked offline, every cache residue on
+        it is flushed (traced as a ``cache_flush``), and the victim job —
+        or, under equipartition, the whole allocation — is re-placed on
+        the surviving processors.
+        """
+        proc = self.allocator.procs[cpu_id]
+        if not proc.online:
+            raise RuntimeError(f"processor {cpu_id} is already offline")
+        victim = proc.job
+        if proc.worker is not None:
+            self.preempt_processor(proc)
+        self.release_processor(proc)
+        proc.online = False
+        proc.history.clear()
+        flush = getattr(self.footprint, "flush_processor", None)
+        lost = float(flush(cpu_id)) if flush is not None else 0.0
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(CpuFailure(time=self.now, cpu=cpu_id))
+            tr.emit(CacheFlush(time=self.now, cpu=cpu_id, lines=int(lost)))
+        if self.metrics is not None:
+            self.metrics.counter("cpu/failures").inc()
+            self.metrics.counter("cpu/flushed_lines").inc(int(lost))
+        if self.policy.is_equipartition:
+            self.allocator.rebalance_equipartition()
+        elif victim is not None and not victim.finished and not victim.cancelled:
+            self.allocator.new_work(victim)
+
+    def recover_processor(self, cpu_id: int) -> None:
+        """Bring a failed processor back online (with a cold cache)."""
+        proc = self.allocator.procs[cpu_id]
+        if proc.online:
+            raise RuntimeError(f"processor {cpu_id} is already online")
+        proc.online = True
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(CpuRecovery(time=self.now, cpu=cpu_id))
+        if self.metrics is not None:
+            self.metrics.counter("cpu/recoveries").inc()
+        if self.policy.is_equipartition:
+            self.allocator.rebalance_equipartition()
+        else:
+            self.allocator.processor_available(proc)
 
     def _metrics_for(self, job: Job) -> JobMetrics:
         return JobMetrics(
@@ -339,6 +445,8 @@ class SchedulingSystem:
 
         The processor must be free or already held (idle) by ``job``.
         """
+        if not proc.online:
+            raise RuntimeError(f"processor {proc.cpu_id} is offline")
         if proc.job is not None and proc.job is not job:
             raise RuntimeError(
                 f"processor {proc.cpu_id} belongs to {proc.job.name}, "

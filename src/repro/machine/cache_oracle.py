@@ -142,6 +142,18 @@ class SimulatedCacheFootprint:
         self._tasks.pop(task, None)
         self._generators.pop(task, None)
 
+    def flush_processor(self, processor: int) -> float:
+        """Invalidate ``processor``'s cache (a CPU failure).
+
+        Tasks keep their residence records (returning there still counts
+        as affinity) but the content is gone, so the next dispatch pays a
+        full reload.  Returns the number of lines dropped.
+        """
+        cache = self._caches.get(processor)
+        if cache is None:
+            return 0.0
+        return float(cache.flush())
+
     def reset(self) -> None:
         """Clear all state (between replications)."""
         self._caches.clear()

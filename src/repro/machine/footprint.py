@@ -212,6 +212,24 @@ class FootprintModel:
         """Drop a finished task's record."""
         self._tasks.pop(task, None)
 
+    def flush_processor(self, processor: int) -> float:
+        """Invalidate every residue on ``processor`` (a CPU failure).
+
+        Each task's residence record (``state.processor`` / ``footprint``)
+        is kept: a task returning to the recovered processor still *had*
+        affinity there, but finds a cold cache and pays the full reload.
+
+        Returns:
+            Lines lost, decayed to the flush instant and capped at the
+            cache size (the physical content of one private cache).
+        """
+        lost = 0.0
+        for task, state in self._tasks.items():
+            if processor in state.residues:
+                lost += self.surviving_footprint(task, processor)
+                del state.residues[processor]
+        return min(lost, self._lines)
+
     def reset(self) -> None:
         """Clear all state (between replications)."""
         self._usage.clear()

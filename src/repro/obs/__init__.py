@@ -30,9 +30,12 @@ from repro.obs.records import (
     AllocationChange,
     CacheBatch,
     CacheFlush,
+    CpuFailure,
+    CpuRecovery,
     Dispatch,
     EngineEvent,
     JobArrival,
+    JobCancelled,
     JobDeparture,
     PolicyDecision,
     RECORD_KINDS,
@@ -56,11 +59,14 @@ __all__ = [
     "CacheBatch",
     "CacheFlush",
     "Counter",
+    "CpuFailure",
+    "CpuRecovery",
     "Dispatch",
     "EngineEvent",
     "Gauge",
     "Histogram",
     "JobArrival",
+    "JobCancelled",
     "JobDeparture",
     "MetricsRegistry",
     "NullSpanProfiler",

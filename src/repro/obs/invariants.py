@@ -16,8 +16,16 @@ system never violated its own rules at any instant:
   running two workers, and every dispatch lands on a processor its job
   owns at that instant;
 * **lifecycle** — jobs are granted processors only between arrival and
-  departure, departure response times equal the arrival/departure
-  timestamps, and the run ends with every processor free;
+  departure (and never after cancellation), departure response times
+  equal the arrival/departure timestamps, and the run ends with every
+  processor free;
+* **work conservation at run end** — every job that arrived either
+  departed or was explicitly cancelled; a stripped or missing
+  cancellation record is flagged as lost work;
+* **disruptions** — a processor fails only while free and online, is
+  never granted or dispatched onto while offline, recovers only from
+  the failed state, and cache flushes stay within the machine's line
+  count;
 * **priority order (Dyn-Aff)** — every priority dispatch picked the
   most-deserving requester, every A.1 affinity grant passed the credit
   gate, and every D.3 preemption was licensed by the credit scheme
@@ -37,8 +45,12 @@ import typing
 from repro.core.priority import CreditScheduler
 from repro.obs.records import (
     AllocationChange,
+    CacheFlush,
+    CpuFailure,
+    CpuRecovery,
     Dispatch,
     JobArrival,
+    JobCancelled,
     JobDeparture,
     PolicyDecision,
     RunConfig,
@@ -61,6 +73,8 @@ class _State:
         self.on_cpu: typing.Dict[int, typing.Tuple[str, int]] = {}  # cpu -> worker
         self.arrived: typing.Dict[str, float] = {}
         self.departed: typing.Set[str] = set()
+        self.cancelled: typing.Dict[str, float] = {}
+        self.offline: typing.Set[int] = set()
         self.last_time = float("-inf")
 
 
@@ -83,6 +97,24 @@ def check_trace(records: typing.Iterable[TraceRecord]) -> typing.List[str]:
             state.arrived[record.job] = record.time
         elif isinstance(record, JobDeparture):
             _check_departure(state, record, where, violations)
+        elif isinstance(record, JobCancelled):
+            _check_cancellation(state, record, where, violations)
+        elif isinstance(record, CpuFailure):
+            _check_cpu_failure(state, record, where, violations)
+        elif isinstance(record, CpuRecovery):
+            if record.cpu not in state.offline:
+                violations.append(
+                    f"{where}: cpu {record.cpu} recovered without having failed"
+                )
+            state.offline.discard(record.cpu)
+        elif isinstance(record, CacheFlush):
+            if state.config is not None and not (
+                0 <= record.lines <= state.config.cache_lines
+            ):
+                violations.append(
+                    f"{where}: cache flush of {record.lines} lines outside "
+                    f"[0, {state.config.cache_lines}]"
+                )
         elif isinstance(record, AllocationChange):
             _check_alloc(state, record, where, violations)
         elif isinstance(record, Dispatch):
@@ -99,6 +131,16 @@ def check_trace(records: typing.Iterable[TraceRecord]) -> typing.List[str]:
             if state.placed:
                 violations.append(
                     f"{where}: run ended with placed workers {sorted(state.placed)}"
+                )
+            lost = sorted(
+                name
+                for name in state.arrived
+                if name not in state.departed and name not in state.cancelled
+            )
+            if lost:
+                violations.append(
+                    f"{where}: jobs {lost} arrived but neither departed nor "
+                    "were cancelled (work conservation violated)"
                 )
     return violations
 
@@ -136,6 +178,46 @@ def _check_departure(
         )
 
 
+def _check_cancellation(
+    state: _State, record: JobCancelled, where: str, violations: typing.List[str]
+) -> None:
+    if record.job in state.departed:
+        violations.append(
+            f"{where}: job {record.job!r} cancelled after departing"
+        )
+    if record.job in state.cancelled:
+        violations.append(f"{where}: job {record.job!r} cancelled twice")
+    if record.work_done < 0:
+        violations.append(
+            f"{where}: job {record.job!r} cancelled with negative "
+            f"work_done {record.work_done}"
+        )
+    state.cancelled[record.job] = record.time
+
+
+def _check_cpu_failure(
+    state: _State, record: CpuFailure, where: str, violations: typing.List[str]
+) -> None:
+    n_procs = state.config.n_processors if state.config else None
+    if n_procs is not None and not 0 <= record.cpu < n_procs:
+        violations.append(
+            f"{where}: cpu {record.cpu} outside machine of {n_procs} processors"
+        )
+    if record.cpu in state.offline:
+        violations.append(f"{where}: cpu {record.cpu} failed while already offline")
+    if record.cpu in state.owner:
+        violations.append(
+            f"{where}: cpu {record.cpu} failed while owned by "
+            f"{state.owner[record.cpu]!r} (must be released first)"
+        )
+    if record.cpu in state.on_cpu:
+        violations.append(
+            f"{where}: cpu {record.cpu} failed while running worker "
+            f"{state.on_cpu[record.cpu]}"
+        )
+    state.offline.add(record.cpu)
+
+
 def _check_alloc(
     state: _State, record: AllocationChange, where: str, violations: typing.List[str]
 ) -> None:
@@ -166,6 +248,14 @@ def _check_alloc(
         if record.job in state.departed:
             violations.append(
                 f"{where}: cpu {record.cpu} granted to departed job {record.job!r}"
+            )
+        if record.job in state.cancelled:
+            violations.append(
+                f"{where}: cpu {record.cpu} granted to cancelled job {record.job!r}"
+            )
+        if record.cpu in state.offline:
+            violations.append(
+                f"{where}: cpu {record.cpu} granted to {record.job!r} while offline"
             )
         state.owner[record.cpu] = record.job
     if n_procs is not None and len(state.owner) > n_procs:

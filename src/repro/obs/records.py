@@ -117,6 +117,32 @@ class PolicyDecision(TraceRecord):
 
 
 @dataclasses.dataclass(frozen=True)
+class JobCancelled(TraceRecord):
+    """A job was cancelled (open-system disruption); ``work_done`` is the
+    compute it had completed, which conservation checks must still account."""
+
+    kind: typing.ClassVar[str] = "job_cancelled"
+    job: str
+    work_done: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuFailure(TraceRecord):
+    """A processor went offline; its private cache contents are lost."""
+
+    kind: typing.ClassVar[str] = "cpu_failure"
+    cpu: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuRecovery(TraceRecord):
+    """A failed processor came back online (cold cache)."""
+
+    kind: typing.ClassVar[str] = "cpu_recovery"
+    cpu: int
+
+
+@dataclasses.dataclass(frozen=True)
 class CacheFlush(TraceRecord):
     """A private cache was invalidated (the Section 4 migrating regime)."""
 
@@ -160,6 +186,9 @@ RECORD_KINDS: typing.Dict[str, type] = {
         RunConfig,
         JobArrival,
         JobDeparture,
+        JobCancelled,
+        CpuFailure,
+        CpuRecovery,
         AllocationChange,
         Dispatch,
         Undispatch,

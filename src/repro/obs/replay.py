@@ -19,6 +19,7 @@ from repro.core.system import SystemResult
 from repro.obs.records import (
     Dispatch,
     JobArrival,
+    JobCancelled,
     JobDeparture,
     RunEnd,
     TraceRecord,
@@ -43,6 +44,8 @@ class ReplaySummary:
 
     jobs: typing.Dict[str, ReplayedJob]
     makespan: typing.Optional[float]
+    #: job name -> cancellation timestamp (open-system disruptions)
+    cancelled: typing.Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def mean_response_time(self) -> float:
         """Average replayed response time (the paper's primary metric)."""
@@ -59,12 +62,15 @@ def replay(records: typing.Iterable[TraceRecord]) -> ReplaySummary:
     affine: typing.Dict[str, int] = {}
     penalties: typing.Dict[str, float] = {}
     switches: typing.Dict[str, float] = {}
+    cancelled: typing.Dict[str, float] = {}
     makespan: typing.Optional[float] = None
     for record in records:
         if isinstance(record, JobArrival):
             arrivals[record.job] = record.time
         elif isinstance(record, JobDeparture):
             departures[record.job] = record.time
+        elif isinstance(record, JobCancelled):
+            cancelled[record.job] = record.time
         elif isinstance(record, Dispatch):
             if not record.cheap:
                 reallocations[record.job] = reallocations.get(record.job, 0) + 1
@@ -86,7 +92,7 @@ def replay(records: typing.Iterable[TraceRecord]) -> ReplaySummary:
         for name in departures
         if name in arrivals
     }
-    return ReplaySummary(jobs=jobs, makespan=makespan)
+    return ReplaySummary(jobs=jobs, makespan=makespan, cancelled=cancelled)
 
 
 def verify_replay(
@@ -123,6 +129,23 @@ def verify_replay(
     extra = set(summary.jobs) - set(result.jobs)
     if extra:
         problems.append(f"trace contains unreported jobs {sorted(extra)}")
+    for name, when in result.cancelled.items():
+        replayed_when = summary.cancelled.get(name)
+        if replayed_when is None:
+            problems.append(
+                f"job {name!r} was cancelled but the trace has no "
+                "job_cancelled record"
+            )
+        elif replayed_when != when:
+            problems.append(
+                f"job {name!r}: replayed cancellation time {replayed_when!r} "
+                f"!= reported {when!r}"
+            )
+    extra_cancelled = set(summary.cancelled) - set(result.cancelled)
+    if extra_cancelled:
+        problems.append(
+            f"trace cancels jobs the run never cancelled {sorted(extra_cancelled)}"
+        )
     if summary.makespan is not None and summary.makespan != result.makespan:
         problems.append(
             f"replayed makespan {summary.makespan!r} != reported {result.makespan!r}"

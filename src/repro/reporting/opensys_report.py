@@ -1,0 +1,77 @@
+"""Rendering and export of open-system matrix results."""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.reporting.tables import format_table
+from repro.workloads.opensys.scenario import MatrixComparison
+
+
+def render_matrix_table(comparison: MatrixComparison) -> str:
+    """ASCII summary of a (scenario x policy) matrix, one row per cell."""
+    headers = [
+        "scenario",
+        "policy",
+        "jobs",
+        "done",
+        "canc",
+        "fail",
+        "mean RT",
+        "p50",
+        "p90",
+        "p99",
+        "util",
+        "reallocs",
+    ]
+    rows = []
+    for scenario in comparison.scenarios:
+        for policy in comparison.policies:
+            cell = comparison.cells[(scenario, policy)]
+            rows.append(
+                [
+                    scenario,
+                    policy,
+                    cell.n_jobs,
+                    cell.n_completed,
+                    cell.n_cancelled,
+                    cell.n_failures,
+                    f"{cell.mean_response:.4f}",
+                    f"{cell.p50_response:.4f}",
+                    f"{cell.p90_response:.4f}",
+                    f"{cell.p99_response:.4f}",
+                    f"{cell.mean_utilization:.3f}",
+                    cell.total_reallocations,
+                ]
+            )
+    seeds = ", ".join(str(s) for s in comparison.seeds)
+    return format_table(
+        headers, rows, title=f"Open-system matrix (seeds {seeds})"
+    )
+
+
+def matrix_to_json(comparison: MatrixComparison) -> str:
+    """Key-sorted JSON document of the per-cell summaries."""
+    cells: typing.Dict[str, typing.Dict[str, object]] = {}
+    for (scenario, policy), cell in comparison.cells.items():
+        cells[f"{scenario}/{policy}"] = {
+            "n_jobs": cell.n_jobs,
+            "n_completed": cell.n_completed,
+            "n_cancelled": cell.n_cancelled,
+            "n_failures": cell.n_failures,
+            "mean_response_s": cell.mean_response,
+            "p50_response_s": cell.p50_response,
+            "p90_response_s": cell.p90_response,
+            "p99_response_s": cell.p99_response,
+            "mean_utilization": cell.mean_utilization,
+            "total_reallocations": cell.total_reallocations,
+        }
+    document = {
+        "schema": "repro.opensys/1",
+        "seeds": list(comparison.seeds),
+        "scenarios": list(comparison.scenarios),
+        "policies": list(comparison.policies),
+        "cells": cells,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -40,6 +40,7 @@ class Job:
         self.ready: typing.Deque[int] = collections.deque()
         self.arrival_time = 0.0
         self.completion_time: typing.Optional[float] = None
+        self.cancelled_time: typing.Optional[float] = None
         # Accounting accumulated by the scheduling system:
         self.work_done = 0.0        # useful processor-seconds
         self.waste = 0.0            # processor-seconds held while idle
@@ -58,11 +59,17 @@ class Job:
         self.ready = collections.deque(self.graph.initially_ready())
         self.arrival_time = now
         self.completion_time = None
+        self.cancelled_time = None
 
     @property
     def finished(self) -> bool:
         """True once every thread of the graph has completed."""
         return self.graph.all_done
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the job has been cancelled (open-system disruption)."""
+        return self.cancelled_time is not None
 
     @property
     def response_time(self) -> float:

@@ -1,0 +1,8 @@
+"""Workload layers: generators that feed jobs into the scheduling core.
+
+The paper's own experiments are *closed*: six fixed mixes of three
+applications, all arriving at t = 0.  This package holds the layers that
+go beyond that — currently :mod:`repro.workloads.opensys`, the
+open-system layer (stochastic arrivals, disruptions, and workload-trace
+replay).
+"""

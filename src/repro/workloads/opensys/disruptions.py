@@ -1,0 +1,108 @@
+"""Disruption processes: job cancellations and CPU failure/recovery.
+
+Like the arrival processes, these are *pre-sampled*: the whole
+disruption timeline is drawn from named rng substreams before the
+simulation starts, and delivered as plain data
+(``(job index, time)`` pairs and :class:`CpuOutage` windows).  The
+scenario runner turns them into simulator events against
+:meth:`~repro.core.system.SchedulingSystem.cancel_job` /
+``fail_processor`` / ``recover_processor``, which ride the engine's
+PENDING→FIRED|CANCELLED event lifecycle — a cancellation landing after
+its job finished simply finds nothing to do.
+
+Pre-sampling keeps the timeline a pure function of (scenario, seed):
+identical for every policy (common random numbers) and for serial vs
+parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuOutage:
+    """One processor outage window ``[fail_s, recover_s)``."""
+
+    cpu: int
+    fail_s: float
+    recover_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CancellationProcess:
+    """Each arriving job is independently cancelled with ``probability``,
+    an exponential ``mean_delay_s`` after its arrival time.
+
+    A sampled cancellation may land before the arrival event fires at the
+    same instant (delay 0 is possible through event ordering), after the
+    job completed (a no-op), or mid-run — all three paths are exercised
+    by the oracle matrix.
+    """
+
+    probability: float
+    mean_delay_s: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        if self.mean_delay_s <= 0:
+            raise ValueError("mean_delay_s must be positive")
+
+    def sample(
+        self, rng: random.Random, arrival_times: typing.Sequence[float]
+    ) -> typing.Tuple[typing.Tuple[int, float], ...]:
+        """``(job index, cancellation time)`` pairs, in arrival order."""
+        out: typing.List[typing.Tuple[int, float]] = []
+        for index, arrival in enumerate(arrival_times):
+            if rng.random() < self.probability:
+                delay = rng.expovariate(1.0 / self.mean_delay_s)
+                out.append((index, arrival + delay))
+        return tuple(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureProcess:
+    """Poisson CPU failures at ``rate_per_s`` with exponential repair.
+
+    At each failure instant a processor is chosen uniformly among those
+    currently online in the sampled timeline; at most ``max_concurrent``
+    processors are ever down together (excess failure draws are dropped,
+    keeping the machine schedulable).
+    """
+
+    rate_per_s: float
+    mean_repair_s: float
+    max_concurrent: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("failure rate must be positive")
+        if self.mean_repair_s <= 0:
+            raise ValueError("mean repair time must be positive")
+        if self.max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+
+    def sample(
+        self, rng: random.Random, horizon_s: float, n_processors: int
+    ) -> typing.Tuple[CpuOutage, ...]:
+        """Outage windows over ``[0, horizon_s)``, in failure order."""
+        if n_processors <= 1:
+            raise ValueError("failure scenarios need at least 2 processors")
+        limit = min(self.max_concurrent, n_processors - 1)
+        outages: typing.List[CpuOutage] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.rate_per_s)
+            if t >= horizon_s:
+                return tuple(outages)
+            down = [o for o in outages if o.fail_s <= t < o.recover_s]
+            if len(down) >= limit:
+                continue
+            down_cpus = {o.cpu for o in down}
+            candidates = [c for c in range(n_processors) if c not in down_cpus]
+            cpu = candidates[rng.randrange(len(candidates))]
+            repair = rng.expovariate(1.0 / self.mean_repair_s)
+            outages.append(CpuOutage(cpu=cpu, fail_s=t, recover_s=t + repair))

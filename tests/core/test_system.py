@@ -4,6 +4,9 @@ import pytest
 
 from repro.core.policies import DYN_AFF, DYNAMIC, EQUIPARTITION
 from repro.core.system import SchedulingSystem
+from repro.obs import Tracer
+from repro.obs.invariants import check_trace
+from repro.obs.records import CacheFlush, Dispatch, JobArrival, JobCancelled
 from tests.core.helpers import chain_job, flat_job, phased_job
 
 
@@ -180,3 +183,72 @@ class TestAccountingIdentities:
         assert m.reallocation_interval == pytest.approx(
             m.response_time * m.average_allocation / m.n_reallocations
         )
+
+
+class TestDisruptionEdgeCases:
+    """Cancellation and failure at their nastiest instants."""
+
+    def _collide(self, cancel_priority):
+        """Cancel DOOMED at the exact instant of its arrival event."""
+        jobs = [chain_job("DOOMED", 2, 0.5), flat_job("OTHER", 4, 0.5, 2)]
+        tracer = Tracer()
+        system = SchedulingSystem(
+            jobs, DYNAMIC, n_processors=2,
+            arrival_times=[1.0, 0.0], tracer=tracer,
+        )
+        system.sim.at(
+            1.0,
+            lambda: system.cancel_job(jobs[0]),
+            priority=cancel_priority,
+            label="cancel:DOOMED",
+        )
+        result = system.run()
+        assert check_trace(tracer.records) == []
+        assert result.cancelled == {"DOOMED": 1.0}
+        assert "DOOMED" not in result.jobs
+        assert "OTHER" in result.jobs
+        return tracer.records
+
+    def test_cancel_at_arrival_instant_before_arrival_fires(self):
+        """Priority below the arrival's: the job must never enter at all."""
+        records = self._collide(cancel_priority=5)
+        assert not any(
+            isinstance(r, JobArrival) and r.job == "DOOMED" for r in records
+        )
+
+    def test_cancel_at_arrival_instant_after_arrival_fires(self):
+        """Priority above the arrival's: arrive, then cancel with zero work."""
+        records = self._collide(cancel_priority=100)
+        assert any(
+            isinstance(r, JobArrival) and r.job == "DOOMED" for r in records
+        )
+        cancel = next(r for r in records if isinstance(r, JobCancelled))
+        assert cancel.time == 1.0
+        assert cancel.work_done == 0.0
+
+    def test_failure_flushes_sole_footprint_copy(self):
+        """The failed cpu holds the job's only cache residue: it is lost.
+
+        On a one-processor machine the job can only wait out the outage;
+        recovery re-dispatches it affine (it never ran anywhere else) but
+        against a cold cache, so the full reload penalty is charged.
+        """
+        job = chain_job("J", 4, 0.5)
+        tracer = Tracer()
+        system = SchedulingSystem([job], DYN_AFF, n_processors=1, tracer=tracer)
+        system.sim.at(0.6, lambda: system.fail_processor(0), priority=100)
+        system.sim.at(0.9, lambda: system.recover_processor(0), priority=100)
+        result = system.run()
+        assert check_trace(tracer.records) == []
+        assert "J" in result.jobs
+        flush = next(r for r in tracer.records if isinstance(r, CacheFlush))
+        assert flush.cpu == 0
+        assert flush.lines > 0
+        redispatch = next(
+            r for r in tracer.records
+            if isinstance(r, Dispatch) and r.time >= 0.9
+        )
+        assert redispatch.affine
+        assert redispatch.penalty_s > 0
+        # 2s of work stalled by a 0.3s outage
+        assert result.makespan >= 2.3

@@ -6,9 +6,12 @@ from repro.obs.records import (
     AllocationChange,
     CacheBatch,
     CacheFlush,
+    CpuFailure,
+    CpuRecovery,
     Dispatch,
     EngineEvent,
     JobArrival,
+    JobCancelled,
     JobDeparture,
     PolicyDecision,
     RECORD_KINDS,
@@ -28,6 +31,9 @@ SAMPLES = [
     ),
     JobArrival(time=0.0, job="A"),
     JobDeparture(time=3.5, job="A", response_time=3.5, n_reallocations=2),
+    JobCancelled(time=2.0, job="B", work_done=1.25),
+    CpuFailure(time=4.0, cpu=3),
+    CpuRecovery(time=5.0, cpu=3),
     AllocationChange(time=1.0, cpu=2, job="A", prev=None),
     Dispatch(
         time=1.0, cpu=2, job="A", worker=0, affine=True, cheap=False,

@@ -1,0 +1,1 @@
+"""Tests for the open-system workload layer."""

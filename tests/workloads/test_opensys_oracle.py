@@ -1,0 +1,178 @@
+"""Oracle-driven scenario matrix: the open-system layer under the trace oracle.
+
+Every (policy x scenario x seed) cell of the lite matrix is run fully
+instrumented and held to both halves of the oracle: the invariant
+checker must find zero violations (allocation conservation, lifecycle,
+disruption rules) and the replayed record stream must reproduce the
+run's own aggregates exactly.  A deliberately-tampered trace — a
+cancellation record stripped from a clean run — must be flagged as a
+work-conservation violation, proving the oracle can actually see the
+class of bug it guards against.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import (
+    DYN_AFF,
+    DYN_AFF_DELAY,
+    DYN_AFF_NOPRI,
+    DYNAMIC,
+    EQUIPARTITION,
+)
+from repro.obs import Tracer
+from repro.obs.invariants import check_trace
+from repro.obs.records import (
+    AllocationChange,
+    CpuFailure,
+    CpuRecovery,
+    JobArrival,
+    JobCancelled,
+    RunConfig,
+)
+from repro.obs.replay import verify_replay
+from repro.workloads.opensys import built_in_scenarios, run_scenario
+
+ALL_POLICIES = [EQUIPARTITION, DYNAMIC, DYN_AFF, DYN_AFF_DELAY, DYN_AFF_NOPRI]
+SCENARIO_NAMES = ("steady", "bursty", "cancellations", "failures")
+SEEDS = (0, 1, 2)
+P = 8
+
+
+def _traced_run(scenario_name, policy, seed):
+    scenario = built_in_scenarios(lite=True, n_processors=P)[scenario_name]
+    tracer = Tracer()
+    result = run_scenario(
+        scenario, policy, seed=seed, n_processors=P, tracer=tracer
+    )
+    return tracer.records, result
+
+
+class TestOracleMatrix:
+    """5 policies x 4 scenarios x 3 seeds, each run held to the full oracle."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("scenario_name", SCENARIO_NAMES)
+    def test_cell_replays_exactly(self, scenario_name, policy):
+        for seed in SEEDS:
+            records, result = _traced_run(scenario_name, policy, seed)
+            assert check_trace(records) == [], (scenario_name, policy.name, seed)
+            assert verify_replay(records, result.system) == [], (
+                scenario_name, policy.name, seed,
+            )
+            # every arrival is accounted for: completed or cancelled
+            assert result.n_completed + result.n_cancelled == result.n_jobs
+            assert result.makespan > 0
+            assert 0 < result.utilization <= 1
+
+    def test_scenarios_exercise_their_disruptions(self):
+        """The matrix isn't vacuous: cancels cancel and failures fail."""
+        _, cancelled = _traced_run("cancellations", DYN_AFF, 0)
+        assert cancelled.n_cancelled > 0
+        records, failed = _traced_run("failures", DYN_AFF, 0)
+        assert failed.n_failures > 0
+        assert any(isinstance(r, CpuFailure) for r in records)
+        assert any(isinstance(r, CpuRecovery) for r in records)
+
+
+class TestSeededBug:
+    """Tampered traces must be caught — the oracle is not a rubber stamp."""
+
+    def _tampered(self):
+        """A clean cancellations trace with one post-arrival cancel stripped."""
+        for seed in SEEDS:
+            records, result = _traced_run("cancellations", DYN_AFF, seed)
+            arrived = {r.job for r in records if isinstance(r, JobArrival)}
+            for target in records:
+                if isinstance(target, JobCancelled) and target.job in arrived:
+                    stripped = [r for r in records if r is not target]
+                    return stripped, target.job, result
+        raise AssertionError("no post-arrival cancellation found in any seed")
+
+    def test_stripped_cancellation_violates_work_conservation(self):
+        stripped, job, _ = self._tampered()
+        violations = check_trace(stripped)
+        assert any(
+            "work conservation violated" in v and job in v for v in violations
+        ), violations
+
+    def test_stripped_cancellation_breaks_exact_replay(self):
+        stripped, job, result = self._tampered()
+        problems = verify_replay(stripped, result.system)
+        assert any(job in p for p in problems), problems
+
+
+def _config(n_processors=2):
+    return RunConfig(
+        time=0.0,
+        policy="Dynamic",
+        n_processors=n_processors,
+        seed=0,
+        jobs=("A",),
+        machine="test",
+        cache_lines=1000,
+        miss_time_s=1e-6,
+        context_switch_s=1e-3,
+        respect_priority=False,
+        use_affinity=False,
+    )
+
+
+class TestDisruptionInvariants:
+    """The new checker rules fire on hand-crafted bad record streams."""
+
+    def test_grant_to_cancelled_job_flagged(self):
+        records = [
+            _config(),
+            JobArrival(time=0.0, job="A"),
+            JobCancelled(time=1.0, job="A", work_done=0.0),
+            AllocationChange(time=2.0, cpu=0, job="A", prev=None),
+        ]
+        assert any("granted to cancelled job" in v for v in check_trace(records))
+
+    def test_grant_while_offline_flagged(self):
+        records = [
+            _config(),
+            JobArrival(time=0.0, job="A"),
+            CpuFailure(time=1.0, cpu=0),
+            AllocationChange(time=2.0, cpu=0, job="A", prev=None),
+        ]
+        assert any("while offline" in v for v in check_trace(records))
+
+    def test_double_cancellation_flagged(self):
+        records = [
+            _config(),
+            JobArrival(time=0.0, job="A"),
+            JobCancelled(time=1.0, job="A", work_done=0.0),
+            JobCancelled(time=2.0, job="A", work_done=0.0),
+        ]
+        assert any("cancelled twice" in v for v in check_trace(records))
+
+    def test_recovery_without_failure_flagged(self):
+        records = [_config(), CpuRecovery(time=1.0, cpu=0)]
+        assert any(
+            "recovered without having failed" in v for v in check_trace(records)
+        )
+
+    def test_failure_while_owned_flagged(self):
+        records = [
+            _config(),
+            JobArrival(time=0.0, job="A"),
+            AllocationChange(time=0.0, cpu=0, job="A", prev=None),
+            CpuFailure(time=1.0, cpu=0),
+        ]
+        assert any("failed while owned" in v for v in check_trace(records))
+
+
+class TestAppScenario:
+    """One non-lite cell: real application specs through the same oracle."""
+
+    def test_app_jobs_replay_exactly(self):
+        steady = built_in_scenarios(lite=False, n_processors=P)["steady"]
+        small = dataclasses.replace(steady, max_jobs=3)
+        tracer = Tracer()
+        result = run_scenario(small, DYN_AFF, seed=0, n_processors=P, tracer=tracer)
+        assert result.n_jobs == 3
+        assert check_trace(tracer.records) == []
+        assert verify_replay(tracer.records, result.system) == []
