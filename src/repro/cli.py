@@ -72,6 +72,8 @@ METRICS_MARKER = "=== metrics ==="
 ANALYSIS_MARKER = "=== analysis ==="
 #: Marker line preceding a simulator self-profile table (--profile).
 PROFILE_MARKER = "=== profile ==="
+#: Marker line preceding the live-run telemetry summary (--progress).
+TELEMETRY_MARKER = "=== telemetry ==="
 
 
 def _print_snapshot(snapshot: typing.Mapping[str, typing.Any], label: str = "") -> None:
@@ -378,16 +380,19 @@ def cmd_hierarchy(args: argparse.Namespace) -> None:
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
-    """Run one mix instrumented, export the JSONL trace, and self-check it.
+    """Run one mix instrumented, export the trace, and self-check it.
 
     The written trace is verified on the spot: the invariant layer must
     find zero violations and replaying the record stream must reproduce
     the run's own aggregates exactly.  A failed check exits non-zero, so
     a bad trace can never be silently shipped as an artifact.
+    ``--format columnar`` writes the compact columnar container instead
+    of JSONL (both round-trip losslessly; see ``repro convert``).
     """
     from repro.obs import MetricsRegistry, Tracer
     from repro.obs.invariants import check_trace
     from repro.obs.replay import verify_replay
+    from repro.obs.store import write_columnar
     from repro.reporting.obs_export import trace_to_jsonl
 
     policy = _POLICY_BY_NAME[args.policy]
@@ -399,8 +404,11 @@ def cmd_trace(args: argparse.Namespace) -> None:
     )
     violations = check_trace(tracer.records)
     replay_errors = verify_replay(tracer.records, result)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        handle.write(trace_to_jsonl(tracer.records))
+    if args.format == "columnar":
+        write_columnar(args.out, tracer.records)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_jsonl(tracer.records))
     print(
         f"wrote {len(tracer.records)} records for workload #{mix_id} "
         f"under {policy.name} to {args.out}"
@@ -421,12 +429,16 @@ def cmd_opensys(args: argparse.Namespace) -> None:
     """Open-system (scenario x policy x seed) matrix, or an SWF replay.
 
     Renders the seed-aggregated cell table; ``--json`` exports it,
-    ``--metrics`` prints per-cell merged snapshots, and ``--trace``
-    additionally runs one fully traced cell (first scenario, first
-    policy, base seed), self-checks the trace against the invariant and
-    replay oracles, and writes it as JSONL — exiting non-zero if either
-    oracle objects, exactly like ``repro trace``.
+    ``--metrics`` prints per-cell merged snapshots (``--metrics-csv``
+    writes them as one wide CSV under a stable union header), and
+    ``--trace`` additionally runs one fully traced cell (first scenario,
+    first policy, base seed), self-checks the trace against the
+    invariant and replay oracles, and writes it — exiting non-zero if
+    either oracle objects, exactly like ``repro trace``.  ``--progress``
+    streams live per-cell heartbeats to stderr while the sweep runs and
+    prints a ``=== telemetry ===`` summary after the table.
     """
+    from repro.obs.telemetry import TelemetryCollector, progress_line
     from repro.reporting.opensys_report import matrix_to_json, render_matrix_table
     from repro.workloads.opensys import (
         SwfScenario,
@@ -453,6 +465,22 @@ def cmd_opensys(args: argparse.Namespace) -> None:
     policy_names = args.policy or sorted(_POLICY_BY_NAME)
     policies = [_POLICY_BY_NAME[name] for name in policy_names]
 
+    collector = None
+    telemetry_sink = None
+    on_commit = None
+    if args.progress:
+        collector = TelemetryCollector()
+
+        def telemetry_sink(snapshot, _collector=collector):
+            _collector(snapshot)
+            print(progress_line(snapshot), file=sys.stderr)
+
+        def on_commit(index, batch):
+            print(
+                f"[matrix] seed batch {index + 1}/{args.seeds} committed",
+                file=sys.stderr,
+            )
+
     comparison = run_matrix(
         scenarios,
         policies,
@@ -460,9 +488,14 @@ def cmd_opensys(args: argparse.Namespace) -> None:
         base_seed=args.seed,
         n_processors=args.processors,
         workers=args.workers,
-        collect_metrics=args.metrics,
+        collect_metrics=args.metrics or bool(args.metrics_csv),
+        telemetry=telemetry_sink,
+        on_commit=on_commit,
     )
     print(render_matrix_table(comparison))
+    if collector is not None:
+        print(TELEMETRY_MARKER)
+        print(collector.render_summary(), end="")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(matrix_to_json(comparison))
@@ -470,11 +503,23 @@ def cmd_opensys(args: argparse.Namespace) -> None:
     if args.metrics:
         for key in sorted(comparison.metrics):
             _print_snapshot(comparison.metrics[key], label="/".join(key))
+    if args.metrics_csv:
+        from repro.reporting.obs_export import snapshots_to_csv
+
+        keys = sorted(comparison.metrics)
+        csv_text = snapshots_to_csv(
+            [comparison.metrics[key] for key in keys],
+            labels=["/".join(key) for key in keys],
+        )
+        with open(args.metrics_csv, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+        print(f"wrote per-cell metrics CSV to {args.metrics_csv}")
 
     if args.trace:
         from repro.obs import Tracer
         from repro.obs.invariants import check_trace
         from repro.obs.replay import verify_replay
+        from repro.obs.store import write_columnar
         from repro.reporting.obs_export import trace_to_jsonl
 
         tracer = Tracer()
@@ -487,8 +532,11 @@ def cmd_opensys(args: argparse.Namespace) -> None:
         )
         violations = check_trace(tracer.records)
         replay_errors = verify_replay(tracer.records, result.system)
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            handle.write(trace_to_jsonl(tracer.records))
+        if args.trace_format == "columnar":
+            write_columnar(args.trace, tracer.records)
+        else:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                handle.write(trace_to_jsonl(tracer.records))
         print(
             f"wrote {len(tracer.records)} records for scenario "
             f"{result.scenario!r} under {result.policy} to {args.trace}"
@@ -506,6 +554,8 @@ def cmd_opensys(args: argparse.Namespace) -> None:
 def cmd_analyze(args: argparse.Namespace) -> None:
     """Time attribution + interval series (+ timeline) for a trace file.
 
+    Accepts JSONL and columnar traces (sniffed by content) and streams
+    the file once per analysis pass instead of holding a record list.
     Refuses truncated or incomplete artifacts with a clear error and a
     non-zero exit; exits non-zero too if the attribution fails its own
     conservation laws (an explanation that does not add up must never be
@@ -522,16 +572,15 @@ def cmd_analyze(args: argparse.Namespace) -> None:
         attribution_to_json,
         intervals_to_csv,
         intervals_to_json,
-        load_trace,
+        stream_trace,
     )
     from repro.reporting.timeline import render_cpu_timeline
 
     try:
-        records = load_trace(args.trace)
+        attribution = attribute_time(stream_trace(args.trace, fmt=args.format))
     except TraceStreamError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(1)
-    attribution = attribute_time(records)
     errors = attribution.conservation_errors()
     print(render_attribution_table(attribution))
     if errors:
@@ -546,12 +595,21 @@ def cmd_analyze(args: argparse.Namespace) -> None:
         # Default: ~20 windows across the run.
         span = float(attribution.makespan - attribution.t0)
         window = max(span / 20, 1e-9)
-    series = interval_series(records, window_s=window)
+    # Each pass re-streams the artifact: framing was already accepted
+    # above, and memory stays bounded by one record.
+    series = interval_series(
+        stream_trace(args.trace, fmt=args.format), window_s=window
+    )
     print()
     print(render_interval_series(series))
     if args.timeline:
         print()
-        print(render_cpu_timeline(records, width=args.timeline_width))
+        # The timeline renderer indexes into the record sequence, so
+        # this pass (and only this one) materializes the stream.
+        print(render_cpu_timeline(
+            list(stream_trace(args.trace, fmt=args.format)),
+            width=args.timeline_width,
+        ))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(attribution_to_json(attribution))
@@ -571,28 +629,79 @@ def cmd_analyze(args: argparse.Namespace) -> None:
 
 
 def cmd_diff(args: argparse.Namespace) -> None:
-    """Align two traces and explain where their response times diverge."""
+    """Align two traces and explain where their response times diverge.
+
+    Accepts JSONL and columnar inputs in any combination (sniffed by
+    content), streamed straight into the aligner.
+    """
     from repro.obs.analysis import diff_traces
     from repro.reporting.analysis_report import render_diff_report
-    from repro.reporting.obs_export import TraceStreamError, diff_to_json, load_trace
+    from repro.reporting.obs_export import TraceStreamError, diff_to_json, stream_trace
 
     try:
-        trace_a = load_trace(args.trace_a)
-        trace_b = load_trace(args.trace_b)
+        diff = diff_traces(
+            stream_trace(args.trace_a),
+            stream_trace(args.trace_b),
+            label_a=args.label_a or args.trace_a,
+            label_b=args.label_b or args.trace_b,
+        )
     except TraceStreamError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(1)
-    diff = diff_traces(
-        trace_a,
-        trace_b,
-        label_a=args.label_a or args.trace_a,
-        label_b=args.label_b or args.trace_b,
-    )
     print(render_diff_report(diff))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(diff_to_json(diff))
         print(f"wrote diff JSON to {args.json}")
+
+
+def cmd_convert(args: argparse.Namespace) -> None:
+    """Convert a trace between JSONL and the columnar store format.
+
+    The input format is sniffed by content; ``--to`` picks the output
+    (default: the other one).  Conversion is streaming and lossless —
+    ``jsonl -> columnar -> jsonl`` reproduces the original bytes.
+    """
+    from repro.obs.store import (
+        ColumnarFormatError,
+        columnar_to_jsonl,
+        jsonl_to_columnar,
+        sniff_format,
+    )
+
+    try:
+        src_fmt = sniff_format(args.src)
+        dst_fmt = args.to or ("columnar" if src_fmt == "jsonl" else "jsonl")
+        if src_fmt == dst_fmt:
+            print(
+                f"error: {args.src} is already {src_fmt}", file=sys.stderr
+            )
+            raise SystemExit(1)
+        if dst_fmt == "columnar":
+            count = jsonl_to_columnar(args.src, args.dst)
+        else:
+            count = columnar_to_jsonl(args.src, args.dst)
+    except ColumnarFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"converted {count} records: {args.src} ({src_fmt}) -> "
+          f"{args.dst} ({dst_fmt})")
+
+
+def cmd_bench_report(args: argparse.Namespace) -> None:
+    """Compare fresh pytest-benchmark JSON against the committed baseline."""
+    from repro.reporting.bench_report import compare_benchmarks, render_bench_report
+
+    try:
+        report = compare_benchmarks(
+            args.fresh, args.baseline, threshold=args.threshold
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    print(render_bench_report(report))
+    if report.regressions:
+        raise SystemExit(1)
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -725,6 +834,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine-events", action="store_true",
         help="include every engine event firing in the trace (verbose)",
     )
+    p_trace.add_argument(
+        "--format", choices=("jsonl", "columnar"), default="jsonl",
+        help="trace container format to write (default: jsonl)",
+    )
     p_trace.set_defaults(func=cmd_trace)
 
     p_os = sub.add_parser(
@@ -786,15 +899,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_os.add_argument(
         "--trace", type=str, default=None, metavar="FILE",
         help="also run one traced cell (first scenario/policy, base seed), "
-        "self-check it, and write the JSONL trace here",
+        "self-check it, and write the trace here",
+    )
+    p_os.add_argument(
+        "--trace-format", choices=("jsonl", "columnar"), default="jsonl",
+        help="container format for --trace output (default: jsonl)",
+    )
+    p_os.add_argument(
+        "--metrics-csv", type=str, default=None, metavar="FILE",
+        help="write per-cell merged metrics as one wide CSV (stable "
+        "union header across cells) to this file",
+    )
+    p_os.add_argument(
+        "--progress", action="store_true",
+        help="stream live per-cell heartbeats to stderr and print a "
+        "telemetry summary after the table",
     )
     p_os.set_defaults(func=cmd_opensys)
 
     p_an = sub.add_parser(
         "analyze",
-        help="time attribution + interval series for a JSONL trace",
+        help="time attribution + interval series for a trace file",
     )
-    p_an.add_argument("trace", type=str, help="JSONL trace file (from `repro trace`)")
+    p_an.add_argument(
+        "trace", type=str,
+        help="trace file, JSONL or columnar (from `repro trace`)",
+    )
+    p_an.add_argument(
+        "--format", choices=("jsonl", "columnar"), default=None,
+        help="input trace format (default: sniff by content)",
+    )
     p_an.add_argument(
         "--window", type=float, default=None, metavar="S",
         help="interval-series window in virtual seconds (default: span/20)",
@@ -827,6 +961,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--json", type=str, default=None,
                         help="write the diff as JSON to this file")
     p_diff.set_defaults(func=cmd_diff)
+
+    p_conv = sub.add_parser(
+        "convert", help="convert a trace between JSONL and columnar"
+    )
+    p_conv.add_argument("src", type=str, help="input trace (format sniffed)")
+    p_conv.add_argument("dst", type=str, help="output path")
+    p_conv.add_argument(
+        "--to", choices=("jsonl", "columnar"), default=None,
+        help="output format (default: the other one)",
+    )
+    p_conv.set_defaults(func=cmd_convert)
+
+    p_bench = sub.add_parser(
+        "bench-report",
+        help="compare fresh pytest-benchmark JSON against the committed baseline",
+    )
+    p_bench.add_argument(
+        "fresh", type=str, help="fresh --benchmark-json output to check"
+    )
+    p_bench.add_argument(
+        "--baseline", type=str, default="BENCH_simulator.json",
+        help="committed baseline JSON (default: BENCH_simulator.json)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=1.25, metavar="X",
+        help="fail when a benchmark's mean exceeds baseline x X (default: 1.25)",
+    )
+    p_bench.set_defaults(func=cmd_bench_report)
 
     p_all = sub.add_parser("all", help="run every experiment (slow)")
     p_all.add_argument("--mix", type=int, choices=sorted(MIXES), default=None)

@@ -129,6 +129,7 @@ def run_replications(
     max_replications: int,
     converged: typing.Callable[[typing.Sequence[T]], bool],
     workers: typing.Optional[int] = None,
+    on_commit: typing.Optional[typing.Callable[[int, T], None]] = None,
 ) -> typing.List[T]:
     """Run ``run_once(0..)`` until the serial stopping rule holds.
 
@@ -137,6 +138,11 @@ def run_replications(
     is returned.  With ``workers > 1``, replications execute concurrently
     in a :class:`~concurrent.futures.ProcessPoolExecutor` but are committed
     in index order, so the returned list is identical to a serial run.
+
+    ``on_commit(index, result)`` fires after each commit, in commit (==
+    replication) order whatever the worker count — the progress signal
+    the telemetry layer surfaces.  It observes results; it must not
+    mutate them.
     """
     if min_replications < 1:
         raise ValueError("min_replications must be positive")
@@ -147,6 +153,8 @@ def run_replications(
         committed: typing.List[T] = []
         for replication in range(max_replications):
             committed.append(run_once(replication))
+            if on_commit is not None:
+                on_commit(replication, committed[-1])
             if len(committed) >= min_replications and converged(committed):
                 break
         return committed
@@ -167,6 +175,8 @@ def run_replications(
                 # prefixes a serial run would.
                 lowest = min(in_flight)
                 committed.append(in_flight.pop(lowest).result())
+                if on_commit is not None:
+                    on_commit(lowest, committed[-1])
                 if len(committed) >= min_replications and converged(committed):
                     break
         finally:
@@ -179,18 +189,30 @@ def map_replications(
     run_once: typing.Callable[[int], T],
     count: int,
     workers: typing.Optional[int] = None,
+    on_commit: typing.Optional[typing.Callable[[int, T], None]] = None,
 ) -> typing.List[T]:
     """Run a *fixed* number of replications, optionally in parallel.
 
     Unlike :func:`run_replications` there is no stopping rule, so this is a
     plain deterministic fan-out: result ``r`` is always ``run_once(r)``,
-    whatever the worker count.
+    whatever the worker count.  ``on_commit(index, result)`` fires per
+    result in index order (see :func:`run_replications`).
     """
     if count < 0:
         raise ValueError("count must be non-negative")
     n_workers = resolve_workers(workers)
     if n_workers == 1 or count <= 1:
-        return [run_once(replication) for replication in range(count)]
+        results: typing.List[T] = []
+        for replication in range(count):
+            results.append(run_once(replication))
+            if on_commit is not None:
+                on_commit(replication, results[-1])
+        return results
     with concurrent.futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
         futures = [pool.submit(run_once, replication) for replication in range(count)]
-        return [future.result() for future in futures]
+        results = []
+        for replication, future in enumerate(futures):
+            results.append(future.result())
+            if on_commit is not None:
+                on_commit(replication, results[-1])
+        return results

@@ -20,6 +20,7 @@ from repro.engine.parallel import (
     BatchedConvergence,
     ConvergenceCriterion,
     map_replications,
+    resolve_workers,
     run_replications,
 )
 from repro.engine.rng import RngRegistry
@@ -28,6 +29,7 @@ from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.measure.workloads import MIXES, WorkloadMix, make_jobs
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import SpanProfiler
+from repro.obs.telemetry import HeartbeatEmitter, TelemetryChannel, TelemetrySink
 
 #: One replication's outcome: policy name -> job name -> metrics.
 ReplicationResult = typing.Dict[str, typing.Dict[str, JobMetrics]]
@@ -46,6 +48,7 @@ def run_mix(
     tracer: typing.Optional[object] = None,
     metrics: typing.Optional[MetricsRegistry] = None,
     profiler: typing.Optional[object] = None,
+    heartbeat: typing.Optional[HeartbeatEmitter] = None,
 ) -> SystemResult:
     """Run one mix once under one policy; returns per-job metrics.
 
@@ -54,7 +57,8 @@ def run_mix(
     jobs — the common-random-numbers pairing the paper's relative response
     times rely on.  ``tracer``/``metrics``/``profiler`` attach the
     observability layer to the run; all default to off (the null fast
-    path).
+    path).  ``heartbeat`` streams live progress snapshots (observation
+    only — results are unchanged).
     """
     rng = RngRegistry(seed)
     jobs = make_jobs(mix, rng.spawn("workload"), n_processors=n_processors, machine=machine)
@@ -69,7 +73,12 @@ def run_mix(
         metrics=metrics,
         profiler=profiler,
     )
-    return system.run()
+    if heartbeat is not None:
+        system.sim.add_trace_hook(heartbeat.engine_hook)
+    result = system.run()
+    if heartbeat is not None:
+        heartbeat.finish(result.makespan)
+    return result
 
 
 @dataclasses.dataclass(frozen=True)
@@ -148,6 +157,7 @@ def _run_replication(
     collect_metrics: bool,
     collect_profile: bool,
     replication: int,
+    telemetry_sink: typing.Optional[TelemetrySink] = None,
 ) -> Replication:
     """One full replication: every policy on the shared seed ``base_seed + r``.
 
@@ -165,6 +175,12 @@ def _run_replication(
     for policy in policies:
         registry = MetricsRegistry() if collect_metrics else None
         profiler = SpanProfiler() if collect_profile else None
+        heartbeat = None
+        if telemetry_sink is not None:
+            heartbeat = HeartbeatEmitter(
+                telemetry_sink,
+                label=f"mix{mix.mix_id}/{policy.name}/rep{replication}",
+            )
         result = run_mix(
             mix,
             policy,
@@ -173,6 +189,7 @@ def _run_replication(
             machine=machine,
             metrics=registry,
             profiler=profiler,
+            heartbeat=heartbeat,
         )
         jobs_out[policy.name] = dict(result.jobs)
         if registry is not None:
@@ -254,6 +271,8 @@ def compare_policies(
     workers: typing.Optional[int] = None,
     collect_metrics: bool = False,
     collect_profile: bool = False,
+    telemetry: typing.Optional[TelemetrySink] = None,
+    on_commit: typing.Optional[typing.Callable[[int, Replication], None]] = None,
 ) -> MixComparison:
     """Run ``mix`` under each policy for ``replications`` seeds.
 
@@ -271,17 +290,29 @@ def compare_policies(
         mix = MIXES[mix]
     if replications < 1:
         raise ValueError("need at least one replication")
-    run_once = functools.partial(
-        _run_replication,
-        mix,
-        tuple(policies),
-        base_seed,
-        n_processors,
-        machine,
-        collect_metrics,
-        collect_profile,
+    channel = (
+        TelemetryChannel(resolve_workers(workers), telemetry)
+        if telemetry is not None
+        else None
     )
-    results = map_replications(run_once, replications, workers=workers)
+    try:
+        run_once = functools.partial(
+            _run_replication,
+            mix,
+            tuple(policies),
+            base_seed,
+            n_processors,
+            machine,
+            collect_metrics,
+            collect_profile,
+            telemetry_sink=channel.sink if channel is not None else None,
+        )
+        results = map_replications(
+            run_once, replications, workers=workers, on_commit=on_commit
+        )
+    finally:
+        if channel is not None:
+            channel.close()
     return MixComparison(
         mix=mix,
         n_replications=replications,
@@ -330,6 +361,8 @@ def compare_policies_to_confidence(
     target_absolute: typing.Optional[float] = None,
     collect_metrics: bool = False,
     collect_profile: bool = False,
+    telemetry: typing.Optional[TelemetrySink] = None,
+    on_commit: typing.Optional[typing.Callable[[int, Replication], None]] = None,
 ) -> MixComparison:
     """Run replications until the paper's confidence criterion is met.
 
@@ -357,19 +390,34 @@ def compare_policies_to_confidence(
         else ConvergenceCriterion(target_relative, target_absolute)
     )
     check: BatchedConvergence = BatchedConvergence(_response_times, criterion)
-    run_once = functools.partial(
-        _run_replication,
-        mix,
-        tuple(policies),
-        base_seed,
-        n_processors,
-        machine,
-        collect_metrics,
-        collect_profile,
+    channel = (
+        TelemetryChannel(resolve_workers(workers), telemetry)
+        if telemetry is not None
+        else None
     )
-    results = run_replications(
-        run_once, min_replications, max_replications, check, workers=workers
-    )
+    try:
+        run_once = functools.partial(
+            _run_replication,
+            mix,
+            tuple(policies),
+            base_seed,
+            n_processors,
+            machine,
+            collect_metrics,
+            collect_profile,
+            telemetry_sink=channel.sink if channel is not None else None,
+        )
+        results = run_replications(
+            run_once,
+            min_replications,
+            max_replications,
+            check,
+            workers=workers,
+            on_commit=on_commit,
+        )
+    finally:
+        if channel is not None:
+            channel.close()
     return MixComparison(
         mix=mix,
         n_replications=len(results),

@@ -13,10 +13,19 @@ The subsystem has four pieces, layered so each consumes the one below:
   and aggregate reconstruction that must match the untraced run);
 * :mod:`repro.obs.analysis` — trace analytics: exact time attribution,
   windowed interval series, and trace diffing;
+* :mod:`repro.obs.streaming` / :mod:`repro.obs.store` — the fleet-scale
+  path: a fan-out tracer that feeds the incremental oracle
+  (:class:`StreamingChecker`), metric derivation
+  (:class:`StreamingMetrics`) and the columnar trace store in one pass
+  with bounded memory;
+* :mod:`repro.obs.telemetry` — heartbeat snapshots from live runs
+  (progress, rates) flowing from workers to the matrix parent;
 * :mod:`repro.obs.profiling` — wall-clock self-profiling of the
   simulator itself (:class:`SpanProfiler`, null fast path like the
   tracer).
 """
+
+from repro.obs.invariants import StreamingChecker, assert_trace_ok, check_trace
 
 from repro.obs.metrics import (
     SNAPSHOT_SCHEMA,
@@ -52,6 +61,7 @@ from repro.obs.profiling import (
     SpanProfiler,
     validate_profile,
 )
+from repro.obs.streaming import StreamingMetrics, StreamingTracer, derive_metrics
 from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = [
@@ -78,9 +88,15 @@ __all__ = [
     "RunConfig",
     "RunEnd",
     "SNAPSHOT_SCHEMA",
+    "StreamingChecker",
+    "StreamingMetrics",
+    "StreamingTracer",
     "TraceRecord",
     "Tracer",
     "Undispatch",
+    "assert_trace_ok",
+    "check_trace",
+    "derive_metrics",
     "record_from_dict",
     "record_to_dict",
     "validate_profile",

@@ -35,7 +35,11 @@ system never violated its own rules at any instant:
   model's hard cap), and cheap same-processor pickups charge nothing.
 
 ``check_trace`` returns a list of human-readable violations (empty =
-clean); ``assert_trace_ok`` wraps it for tests.
+clean); ``assert_trace_ok`` wraps it for tests.  Both are thin wrappers
+over :class:`StreamingChecker`, which applies the same checks one record
+at a time with memory bounded by the *live* simulator state (O(jobs +
+processors), independent of trace length) — feed it records as the
+Tracer emits them and no record list ever needs to exist.
 """
 
 from __future__ import annotations
@@ -78,12 +82,29 @@ class _State:
         self.last_time = float("-inf")
 
 
-def check_trace(records: typing.Iterable[TraceRecord]) -> typing.List[str]:
-    """Replay ``records`` and return every invariant violation found."""
-    state = _State()
-    violations: typing.List[str] = []
-    for index, record in enumerate(records):
-        where = f"[{index}] t={record.time:.9f} {record.kind}"
+class StreamingChecker:
+    """Single-pass invariant oracle: feed records as they are emitted.
+
+    Applies exactly the checks :func:`check_trace` applies, in the same
+    order, producing the same violation strings — but one record at a
+    time, so it can ride a live Tracer (see
+    :class:`repro.obs.streaming.StreamingTracer`) without the trace ever
+    being materialized.  Memory use is the replayed simulator state plus
+    the violations found: O(jobs + processors), independent of how many
+    records flow through.
+    """
+
+    def __init__(self) -> None:
+        self._state = _State()
+        self.violations: typing.List[str] = []
+        self._index = 0
+
+    def feed(self, record: TraceRecord) -> None:
+        """Check one record against the replayed state and advance it."""
+        state = self._state
+        violations = self.violations
+        where = f"[{self._index}] t={record.time:.9f} {record.kind}"
+        self._index += 1
 
         if record.time < state.last_time - _EPS:
             violations.append(
@@ -142,7 +163,14 @@ def check_trace(records: typing.Iterable[TraceRecord]) -> typing.List[str]:
                     f"{where}: jobs {lost} arrived but neither departed nor "
                     "were cancelled (work conservation violated)"
                 )
-    return violations
+
+
+def check_trace(records: typing.Iterable[TraceRecord]) -> typing.List[str]:
+    """Replay ``records`` and return every invariant violation found."""
+    checker = StreamingChecker()
+    for record in records:
+        checker.feed(record)
+    return checker.violations
 
 
 def assert_trace_ok(records: typing.Iterable[TraceRecord]) -> None:

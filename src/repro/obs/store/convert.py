@@ -1,0 +1,138 @@
+"""Lossless, streaming conversion between JSONL and columnar traces.
+
+Both directions are record-at-a-time: neither the JSONL lines nor the
+decoded columnar records are ever materialized as a whole-trace list, so
+converting a million-job sweep trace needs memory proportional to one
+chunk, not one run.  The JSONL emitted by :func:`columnar_to_jsonl` uses
+the exact serialization the Tracer's own exporter uses (key-sorted
+``json.dumps``, one record per line, newline terminated), which is what
+makes ``jsonl -> columnar -> jsonl`` byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.records import TraceRecord, record_from_dict, record_to_dict
+from repro.obs.store.format import (
+    DEFAULT_CHUNK_RECORDS,
+    MAGIC,
+    ColumnarFormatError,
+    ColumnarTraceWriter,
+    iter_columnar,
+)
+
+#: Recognised trace container formats.
+FORMATS = ("jsonl", "columnar")
+
+
+def sniff_format(path: str) -> str:
+    """Identify a trace file as ``"jsonl"`` or ``"columnar"`` by content.
+
+    Columnar files start with the 8-byte magic; JSONL traces start with
+    ``{`` (every record line is a JSON object).  Anything else is
+    rejected rather than guessed.
+    """
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(len(MAGIC))
+    except OSError as exc:
+        raise ColumnarFormatError(f"cannot read trace {path!r}: {exc}") from exc
+    if head == MAGIC:
+        return "columnar"
+    if head[:1] == b"{":
+        return "jsonl"
+    if not head:
+        # An empty JSONL trace is legal output of trace_to_jsonl([]).
+        return "jsonl"
+    raise ColumnarFormatError(
+        f"{path}: unrecognized trace format (starts {head!r}); "
+        "expected a JSONL trace or a columnar trace file"
+    )
+
+
+def iter_jsonl_records(path: str) -> typing.Iterator[TraceRecord]:
+    """Stream typed records from a JSONL trace file, line by line.
+
+    Enforces the same truncation discipline as the batch loader: a final
+    line without a newline terminator means the artifact was cut off
+    mid-record and the whole stream is refused (the error is raised
+    before any record from the damaged tail is yielded, but records from
+    earlier complete lines may already have been consumed — callers that
+    need all-or-nothing semantics should drain to a list).
+
+    Raises:
+        ColumnarFormatError: on unreadable files, malformed lines, or a
+            truncated tail.  (A :class:`ValueError` subclass, so callers
+            catching the exporter's ``TraceStreamError`` family still
+            work after wrapping.)
+    """
+    try:
+        fh = open(path, "r", encoding="utf-8", newline="")
+    except OSError as exc:
+        raise ColumnarFormatError(f"cannot read trace {path!r}: {exc}") from exc
+    with fh:
+        lineno = 0
+        for lineno, line in enumerate(fh, start=1):
+            if not line.endswith("\n"):
+                raise ColumnarFormatError(
+                    f"{path}: trace is truncated: final line has no newline "
+                    f"terminator (starts {line[:60]!r}); the artifact was "
+                    "cut off mid-record"
+                )
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ColumnarFormatError(
+                    f"{path}: trace line {lineno} is not valid JSON ({exc}); "
+                    "the artifact is corrupt or was truncated mid-record"
+                ) from exc
+            try:
+                yield record_from_dict(payload)
+            except ValueError as exc:
+                raise ColumnarFormatError(
+                    f"{path}: trace line {lineno}: {exc}"
+                ) from exc
+
+
+def iter_trace_file(
+    path: str, fmt: typing.Optional[str] = None
+) -> typing.Iterator[TraceRecord]:
+    """Stream records from ``path`` in either format (sniffed by default)."""
+    if fmt is None:
+        fmt = sniff_format(path)
+    if fmt == "jsonl":
+        return iter_jsonl_records(path)
+    if fmt == "columnar":
+        return iter_columnar(path)
+    raise ValueError(f"unknown trace format {fmt!r}; expected one of {FORMATS}")
+
+
+def jsonl_to_columnar(
+    src: str, dst: str, chunk_records: int = DEFAULT_CHUNK_RECORDS
+) -> int:
+    """Convert a JSONL trace file to columnar; returns the record count."""
+    count = 0
+    with ColumnarTraceWriter(dst, chunk_records=chunk_records) as writer:
+        for record in iter_jsonl_records(src):
+            writer.write(record)
+            count += 1
+    return count
+
+
+def columnar_to_jsonl(src: str, dst: str) -> int:
+    """Convert a columnar trace file to JSONL; returns the record count.
+
+    The output is byte-identical to what the original Tracer's JSONL
+    export produced for the same record stream.
+    """
+    count = 0
+    with open(dst, "w", encoding="utf-8", newline="") as fh:
+        for record in iter_columnar(src):
+            fh.write(json.dumps(record_to_dict(record), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,139 @@
+"""Benchmark-regression report: fresh pytest-benchmark JSON vs committed.
+
+The repo commits a reference ``BENCH_simulator.json`` (pytest-benchmark's
+``--benchmark-json`` output); CI and developers produce a fresh one.
+:func:`compare_benchmarks` matches benchmarks by name, computes the
+mean-time ratio per benchmark, and flags anything slower than a
+configurable threshold — ``repro bench-report`` turns that into a table
+and a non-zero exit, so a perf regression fails the build instead of
+rotting silently next to the committed baseline.
+
+Benchmarks present on only one side are *reported* but never fail the
+check: a new benchmark has no baseline to regress against, and a removed
+one is a review question, not a perf problem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+#: Default slowdown gate: mean time beyond baseline × this ratio fails.
+DEFAULT_THRESHOLD = 1.25
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's baseline-vs-fresh mean comparison."""
+
+    name: str
+    baseline_mean: float
+    fresh_mean: float
+
+    @property
+    def ratio(self) -> float:
+        """Fresh mean over baseline mean (> 1 means slower)."""
+        if self.baseline_mean <= 0:
+            return float("inf") if self.fresh_mean > 0 else 1.0
+        return self.fresh_mean / self.baseline_mean
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchReport:
+    """Everything one comparison produced."""
+
+    deltas: typing.Tuple[BenchDelta, ...]
+    #: benchmarks only in the fresh run (no baseline to compare against)
+    new: typing.Tuple[str, ...]
+    #: benchmarks only in the baseline (removed or not run)
+    missing: typing.Tuple[str, ...]
+    threshold: float
+
+    @property
+    def regressions(self) -> typing.Tuple[BenchDelta, ...]:
+        """Deltas slower than the threshold, worst first."""
+        slow = [d for d in self.deltas if d.ratio > self.threshold]
+        return tuple(sorted(slow, key=lambda d: -d.ratio))
+
+
+def load_benchmark_means(path: str) -> typing.Dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file.
+
+    Raises:
+        ValueError: if the file is unreadable or not pytest-benchmark
+            output (missing the ``benchmarks`` list or per-entry stats).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ValueError(f"cannot read benchmark JSON {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError(
+            f"{path}: no 'benchmarks' list; not pytest-benchmark output"
+        )
+    means: typing.Dict[str, float] = {}
+    for entry in benchmarks:
+        try:
+            means[entry["name"]] = float(entry["stats"]["mean"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"{path}: malformed benchmark entry ({exc})"
+            ) from exc
+    return means
+
+
+def compare_benchmarks(
+    fresh_path: str,
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchReport:
+    """Compare a fresh benchmark JSON against the committed baseline."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    fresh = load_benchmark_means(fresh_path)
+    baseline = load_benchmark_means(baseline_path)
+    shared = sorted(set(fresh) & set(baseline))
+    deltas = tuple(
+        BenchDelta(name=name, baseline_mean=baseline[name], fresh_mean=fresh[name])
+        for name in shared
+    )
+    return BenchReport(
+        deltas=deltas,
+        new=tuple(sorted(set(fresh) - set(baseline))),
+        missing=tuple(sorted(set(baseline) - set(fresh))),
+        threshold=threshold,
+    )
+
+
+def render_bench_report(report: BenchReport) -> str:
+    """The per-benchmark delta table plus a verdict line."""
+    lines = [
+        f"{'benchmark':<52} {'baseline':>12} {'fresh':>12} {'ratio':>8}",
+    ]
+    for delta in report.deltas:
+        flag = "  REGRESSION" if delta.ratio > report.threshold else ""
+        lines.append(
+            f"{delta.name:<52} {delta.baseline_mean:>12.6f} "
+            f"{delta.fresh_mean:>12.6f} {delta.ratio:>8.3f}{flag}"
+        )
+    for name in report.new:
+        lines.append(f"{name:<52} {'-':>12} {'(new)':>12}")
+    for name in report.missing:
+        lines.append(f"{name:<52} {'(missing from fresh run)':>12}")
+    regressions = report.regressions
+    if regressions:
+        lines.append(
+            f"FAIL: {len(regressions)} benchmark(s) slower than "
+            f"{report.threshold:.2f}x baseline"
+        )
+    else:
+        lines.append(
+            f"OK: {len(report.deltas)} benchmark(s) within "
+            f"{report.threshold:.2f}x of baseline"
+        )
+    return "\n".join(lines)

@@ -129,23 +129,82 @@ def validate_stream(
     return records
 
 
-def load_trace(path: str) -> typing.List[TraceRecord]:
-    """Read, parse and frame-check a JSONL trace file.
+def stream_trace(
+    path: str, fmt: typing.Optional[str] = None
+) -> typing.Iterator[TraceRecord]:
+    """Stream a frame-checked trace from ``path``, record by record.
+
+    Accepts both JSONL and columnar trace files (``fmt`` forces one;
+    ``None`` sniffs by content).  Applies :func:`validate_stream`'s
+    framing rules *incrementally* — exactly one leading ``run_config``,
+    exactly one trailing ``run_end`` — so a truncated or incomplete
+    artifact still fails loudly, but a million-record trace is never
+    materialized: memory is O(1) in trace length.
+
+    Being a generator, framing errors surface during iteration; batch
+    callers that need all-or-nothing semantics use :func:`load_trace`.
+
+    Raises:
+        TraceStreamError: on unreadable, truncated, malformed, corrupt,
+            or incomplete artifacts — always naming the file.
+    """
+    from repro.obs.store import ColumnarFormatError, iter_trace_file
+
+    try:
+        iterator = iter_trace_file(path, fmt=fmt)
+    except (ColumnarFormatError, ValueError) as exc:
+        raise TraceStreamError(str(exc)) from exc
+    n = 0
+    ended = False
+    while True:
+        try:
+            record = next(iterator)
+        except StopIteration:
+            break
+        except ColumnarFormatError as exc:
+            raise TraceStreamError(str(exc)) from exc
+        n += 1
+        if n == 1:
+            if not isinstance(record, RunConfig):
+                raise TraceStreamError(
+                    f"{path} does not start with a run_config record "
+                    f"(got {record.kind!r}); not a complete run artifact"
+                )
+        else:
+            if ended:
+                raise TraceStreamError(
+                    f"{path} record {n - 1} is a premature run_end"
+                )
+            if isinstance(record, RunConfig):
+                raise TraceStreamError(
+                    f"{path} record {n} is a second run_config; "
+                    "analysis expects one run per artifact"
+                )
+        if isinstance(record, RunEnd):
+            ended = True
+        yield record
+    if n == 0:
+        raise TraceStreamError(f"{path} is empty")
+    if not ended:
+        raise TraceStreamError(
+            f"{path} does not end with a run_end record; the run was cut off"
+        )
+
+
+def load_trace(
+    path: str, fmt: typing.Optional[str] = None
+) -> typing.List[TraceRecord]:
+    """Read, parse and frame-check a trace file (JSONL or columnar).
+
+    The batch counterpart of :func:`stream_trace`: same sniffing, same
+    framing checks, but all-or-nothing — the record list is returned
+    only once the whole artifact has been accepted.
 
     Raises:
         TraceStreamError: on unreadable, truncated, malformed, or
             incomplete artifacts — always naming the file.
     """
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            text = fh.read()
-    except OSError as exc:
-        raise TraceStreamError(f"cannot read trace {path!r}: {exc}") from exc
-    try:
-        records = trace_from_jsonl(text)
-    except TraceStreamError as exc:
-        raise TraceStreamError(f"{path}: {exc}") from exc
-    return validate_stream(records, source=path)
+    return list(stream_trace(path, fmt=fmt))
 
 
 def snapshot_to_json(snapshot: typing.Mapping[str, typing.Any]) -> str:
@@ -171,6 +230,50 @@ def snapshot_to_csv(snapshot: typing.Mapping[str, typing.Any]) -> str:
         for field in ("count", "sum", "mean", "min", "max"):
             rows.append(["histogram", name, field, data[field]])
     return rows_to_csv(["section", "name", "field", "value"], rows)
+
+
+def snapshots_to_csv(
+    snapshots: typing.Sequence[typing.Mapping[str, typing.Any]],
+    labels: typing.Optional[typing.Sequence[str]] = None,
+) -> str:
+    """Several snapshots as one wide CSV under a *stable* union header.
+
+    One row per snapshot (first column: its label), one column per
+    flattened metric — ``counter:<name>``, ``gauge:<name>``, or
+    ``histogram:<name>:<field>``.  The header is the key-sorted union
+    over **all** snapshots, so snapshots with disjoint key sets (a
+    failures cell has ``cpu/failures``; a steady cell does not) still
+    align column-for-column; a metric a snapshot never touched exports
+    as an empty cell.  Per-snapshot sorting alone cannot give this —
+    columns would shift between rows.
+    """
+    snapshots = list(snapshots)
+    if labels is None:
+        labels = [str(i) for i in range(len(snapshots))]
+    labels = list(labels)
+    if len(labels) != len(snapshots):
+        raise ValueError(
+            f"{len(snapshots)} snapshots but {len(labels)} labels"
+        )
+    flattened: typing.List[typing.Dict[str, object]] = []
+    for snapshot in snapshots:
+        validate_snapshot(snapshot)
+        row: typing.Dict[str, object] = {}
+        for name, value in snapshot["counters"].items():
+            row[f"counter:{name}"] = value
+        for name, value in snapshot["gauges"].items():
+            row[f"gauge:{name}"] = value
+        for name, data in snapshot["histograms"].items():
+            for field in ("count", "sum", "mean", "min", "max"):
+                row[f"histogram:{name}:{field}"] = data[field]
+        flattened.append(row)
+    columns = sorted(set().union(*flattened)) if flattened else []
+    header = ["label"] + columns
+    rows = [
+        [label] + [row.get(column, "") for column in columns]
+        for label, row in zip(labels, flattened)
+    ]
+    return rows_to_csv(header, rows)
 
 
 # --------------------------------------------------------------------- #

@@ -27,10 +27,15 @@ import typing
 
 from repro.core.policies.base import Policy
 from repro.core.system import SchedulingSystem, SystemResult
-from repro.engine.parallel import map_replications
+from repro.engine.parallel import map_replications, resolve_workers
 from repro.engine.rng import RngRegistry
 from repro.machine.params import SEQUENT_SYMMETRY, MachineSpec
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    HeartbeatEmitter,
+    TelemetryChannel,
+    TelemetrySink,
+)
 from repro.threads.job import Job
 from repro.workloads.opensys.arrivals import (
     ArrivalProcess,
@@ -197,11 +202,15 @@ def run_scenario(
     tracer: typing.Optional[object] = None,
     metrics: typing.Optional[MetricsRegistry] = None,
     profiler: typing.Optional[object] = None,
+    heartbeat: typing.Optional[HeartbeatEmitter] = None,
 ) -> OpenSystemResult:
     """Instantiate ``scenario`` for ``seed`` and run it under ``policy``.
 
     The run drains to completion (no horizon cutoff), so the emitted
     trace satisfies the run-end invariants and replays exactly.
+    ``heartbeat`` (a :class:`~repro.obs.telemetry.HeartbeatEmitter`)
+    rides the engine trace hook for live progress; it observes only and
+    never changes the result.
     """
     instance = scenario.instantiate(seed, n_processors=n_processors, machine=machine)
     registry = RngRegistry(seed)
@@ -238,7 +247,11 @@ def run_scenario(
             priority=DISRUPTION_PRIORITY,
             label=f"cpu_recover:{outage.cpu}",
         )
+    if heartbeat is not None:
+        system.sim.add_trace_hook(heartbeat.engine_hook)
     result = system.run()
+    if heartbeat is not None:
+        heartbeat.finish(result.makespan)
     responses = tuple(sorted(m.response_time for m in result.jobs.values()))
     cancelled_work = sum(
         job.work_done for job in system.jobs if job.cancelled
@@ -328,11 +341,13 @@ def _run_seed_batch(
     n_processors: int,
     machine: MachineSpec,
     collect_metrics: bool,
+    telemetry_sink: typing.Optional[TelemetrySink] = None,
 ) -> typing.Dict[typing.Tuple[str, str], typing.Tuple[OpenSystemResult, object]]:
     """All (scenario x policy) cells for one seed (one parallel task).
 
     Module-level so :func:`~repro.engine.parallel.map_replications` can
-    pickle it into worker processes.
+    pickle it into worker processes.  With a ``telemetry_sink``, each
+    cell streams heartbeats home labelled ``scenario/policy/seedN``.
     """
     seed = base_seed + replication
     out: typing.Dict[
@@ -341,6 +356,12 @@ def _run_seed_batch(
     for scenario in scenarios:
         for policy in policies:
             registry = MetricsRegistry() if collect_metrics else None
+            heartbeat = None
+            if telemetry_sink is not None:
+                heartbeat = HeartbeatEmitter(
+                    telemetry_sink,
+                    label=f"{scenario.name}/{policy.name}/seed{seed}",
+                )
             result = run_scenario(
                 scenario,
                 policy,
@@ -348,6 +369,7 @@ def _run_seed_batch(
                 n_processors=n_processors,
                 machine=machine,
                 metrics=registry,
+                heartbeat=heartbeat,
             )
             snapshot = registry.snapshot() if registry is not None else None
             out[(result.scenario, policy.name)] = (result, snapshot)
@@ -363,27 +385,47 @@ def run_matrix(
     machine: MachineSpec = SEQUENT_SYMMETRY,
     workers: typing.Optional[int] = None,
     collect_metrics: bool = False,
+    telemetry: typing.Optional[TelemetrySink] = None,
+    on_commit: typing.Optional[typing.Callable[[int, object], None]] = None,
 ) -> MatrixComparison:
     """Run the (scenario x policy x seed) grid, optionally in parallel.
 
     Parallelism is over seeds (one task per seed runs every cell), with
     results committed in seed order — output is bit-identical for any
     ``workers``.
+
+    ``telemetry`` receives live :class:`~repro.obs.telemetry.TelemetrySnapshot`
+    heartbeats from every cell (across process boundaries when
+    ``workers > 1``); ``on_commit(seed_index, batch)`` fires as each
+    seed's batch commits, in seed order.  Both are observational only —
+    attaching them never changes the sweep's results.
     """
     if seeds <= 0:
         raise ValueError("need at least one seed")
     if not scenarios or not policies:
         raise ValueError("need at least one scenario and one policy")
-    run_once = functools.partial(
-        _run_seed_batch,
-        scenarios=tuple(scenarios),
-        policies=tuple(policies),
-        base_seed=base_seed,
-        n_processors=n_processors,
-        machine=machine,
-        collect_metrics=collect_metrics,
+    channel = (
+        TelemetryChannel(resolve_workers(workers), telemetry)
+        if telemetry is not None
+        else None
     )
-    batches = map_replications(run_once, seeds, workers=workers)
+    try:
+        run_once = functools.partial(
+            _run_seed_batch,
+            scenarios=tuple(scenarios),
+            policies=tuple(policies),
+            base_seed=base_seed,
+            n_processors=n_processors,
+            machine=machine,
+            collect_metrics=collect_metrics,
+            telemetry_sink=channel.sink if channel is not None else None,
+        )
+        batches = map_replications(
+            run_once, seeds, workers=workers, on_commit=on_commit
+        )
+    finally:
+        if channel is not None:
+            channel.close()
 
     results: typing.Dict[
         typing.Tuple[str, str], typing.List[OpenSystemResult]

@@ -3,9 +3,12 @@
 import json
 import pathlib
 
+import pytest
+
 from repro.reporting.obs_export import (
     snapshot_to_csv,
     snapshot_to_json,
+    snapshots_to_csv,
     trace_from_jsonl,
     trace_to_jsonl,
 )
@@ -59,6 +62,72 @@ class TestSnapshotExports:
         assert lines[0] == "section,name,field,value"
         counter_names = [l.split(",")[1] for l in lines if l.startswith("counter,")]
         assert counter_names == sorted(counter_names)
+
+
+def _snapshot(counters=(), gauges=(), histograms=()):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for name, value in counters:
+        registry.counter(name).inc(value)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    for name, values in histograms:
+        for value in values:
+            registry.histogram(name).observe(value)
+    return registry.snapshot()
+
+
+class TestSnapshotsToCsv:
+    """Regression: merged snapshots with disjoint keys share one header.
+
+    The old per-snapshot export sorted each snapshot's own keys, so two
+    cells touching different metrics (failures cells have
+    ``cpu/failures``; steady cells don't) produced rows whose columns
+    did not line up.  ``snapshots_to_csv`` must emit the union header
+    and blank-fill the gaps.
+    """
+
+    def test_disjoint_key_sets_align_under_union_header(self):
+        a = _snapshot(counters=[("cpu/failures", 3.0), ("jobs/arrived", 8.0)])
+        b = _snapshot(counters=[("jobs/arrived", 9.0)],
+                      gauges=[("run/makespan_s", 4.5)])
+        text = snapshots_to_csv([a, b], labels=["failures", "steady"])
+        lines = text.splitlines()
+        assert lines[0] == (
+            "label,counter:cpu/failures,counter:jobs/arrived,"
+            "gauge:run/makespan_s"
+        )
+        assert lines[1] == "failures,3.0,8.0,"
+        assert lines[2] == "steady,,9.0,4.5"
+        # every row has exactly the header's column count
+        width = lines[0].count(",")
+        assert all(line.count(",") == width for line in lines)
+
+    def test_histograms_flatten_to_stable_fields(self):
+        a = _snapshot(histograms=[("jobs/response_s", (1.0, 2.0))])
+        text = snapshots_to_csv([a])
+        header = text.splitlines()[0].split(",")
+        assert header == [
+            "label",
+            "histogram:jobs/response_s:count",
+            "histogram:jobs/response_s:max",
+            "histogram:jobs/response_s:mean",
+            "histogram:jobs/response_s:min",
+            "histogram:jobs/response_s:sum",
+        ]
+
+    def test_default_labels_are_indices(self):
+        text = snapshots_to_csv([_snapshot(), _snapshot()])
+        rows = text.splitlines()[1:]
+        assert [row.split(",")[0] for row in rows] == ["0", "1"]
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            snapshots_to_csv([_snapshot()], labels=["a", "b"])
+
+    def test_empty_input_is_header_only(self):
+        assert snapshots_to_csv([]) == "label\n"
 
 
 class TestGoldenFiles:

@@ -1,0 +1,116 @@
+"""Benchmark-regression gate: fresh pytest-benchmark JSON vs baseline."""
+
+import json
+
+import pytest
+
+from repro.reporting.bench_report import (
+    DEFAULT_THRESHOLD,
+    BenchDelta,
+    compare_benchmarks,
+    load_benchmark_means,
+    render_bench_report,
+)
+
+
+def write_bench(path, means):
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestLoad:
+    def test_loads_means(self, tmp_path):
+        path = write_bench(tmp_path / "b.json", {"t_a": 0.5, "t_b": 1.25})
+        assert load_benchmark_means(path) == {"t_a": 0.5, "t_b": 1.25}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_benchmark_means(str(tmp_path / "nope.json"))
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{broken", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_benchmark_means(str(path))
+
+    def test_not_pytest_benchmark_output(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"results": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_benchmark_means(str(path))
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"benchmarks": [{"name": "x"}]}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_benchmark_means(str(path))
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, tmp_path):
+        base = write_bench(tmp_path / "base.json", {"t_a": 1.0, "t_b": 2.0})
+        fresh = write_bench(tmp_path / "fresh.json", {"t_a": 1.2, "t_b": 1.9})
+        report = compare_benchmarks(fresh, base)
+        assert report.threshold == DEFAULT_THRESHOLD
+        assert report.regressions == ()
+        assert "OK:" in render_bench_report(report)
+
+    def test_regression_is_flagged_worst_first(self, tmp_path):
+        base = write_bench(tmp_path / "base.json",
+                           {"t_a": 1.0, "t_b": 1.0, "t_c": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json",
+                            {"t_a": 1.5, "t_b": 3.0, "t_c": 1.0})
+        report = compare_benchmarks(fresh, base)
+        assert [d.name for d in report.regressions] == ["t_b", "t_a"]
+        rendered = render_bench_report(report)
+        assert "REGRESSION" in rendered
+        assert "FAIL: 2 benchmark(s)" in rendered
+
+    def test_new_and_missing_never_fail(self, tmp_path):
+        base = write_bench(tmp_path / "base.json", {"t_old": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", {"t_new": 9.0})
+        report = compare_benchmarks(fresh, base)
+        assert report.new == ("t_new",)
+        assert report.missing == ("t_old",)
+        assert report.regressions == ()
+        assert "OK:" in render_bench_report(report)
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base = write_bench(tmp_path / "base.json", {"t_a": 1.0})
+        fresh = write_bench(tmp_path / "fresh.json", {"t_a": 1.1})
+        assert compare_benchmarks(fresh, base, threshold=1.05).regressions
+        assert not compare_benchmarks(fresh, base, threshold=1.2).regressions
+
+    def test_bad_threshold(self, tmp_path):
+        base = write_bench(tmp_path / "b.json", {"t": 1.0})
+        with pytest.raises(ValueError, match="positive"):
+            compare_benchmarks(base, base, threshold=0)
+
+
+class TestRatio:
+    def test_zero_baseline_nonzero_fresh_is_infinite(self):
+        assert BenchDelta("t", 0.0, 0.5).ratio == float("inf")
+
+    def test_both_zero_is_flat(self):
+        assert BenchDelta("t", 0.0, 0.0).ratio == 1.0
+
+
+def test_committed_baseline_compares_clean_against_itself():
+    """The repo's own BENCH_simulator.json is valid input and self-equal."""
+    import pathlib
+
+    baseline = str(
+        pathlib.Path(__file__).resolve().parents[2] / "BENCH_simulator.json"
+    )
+    report = compare_benchmarks(baseline, baseline)
+    assert report.deltas, "committed baseline has no benchmarks?"
+    assert report.regressions == ()
+    assert all(d.ratio == 1.0 for d in report.deltas)
