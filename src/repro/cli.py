@@ -41,7 +41,6 @@ from repro.core.policies import (
     EQUIPARTITION,
 )
 from repro.engine.rng import RngRegistry
-from repro.measure.penalty import PenaltyExperiment
 from repro.measure.runner import compare_policies, run_mix
 from repro.measure.workloads import MIXES
 from repro.model import (
@@ -141,6 +140,33 @@ def _scale_arg(value: str) -> int:
     return scale
 
 
+def _seeds_arg(value: str) -> typing.Union[int, typing.Tuple[int, ...]]:
+    """``--seeds``: a count ("3") or an explicit list ("1,2,5").
+
+    Explicit lists are validated here (shared :func:`normalize_seeds`
+    logic), so ``--seeds 1,1,2`` fails at parse time with the duplicate
+    named instead of silently double-running a simulation.
+    """
+    from repro.sweep import normalize_seeds, parse_seeds_arg
+
+    try:
+        seeds = parse_seeds_arg(value)
+        normalize_seeds(seeds)  # counts and lists both validated up front
+        return seeds
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _sweep_cache(args: argparse.Namespace):
+    """The command's result cache, or ``None`` when no ``--cache-dir``."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    from repro.sweep import ResultCache
+
+    return ResultCache(cache_dir)
+
+
 def cmd_apps(args: argparse.Namespace) -> None:
     """Figures 2-4: per-application parallelism profiles."""
     rng = RngRegistry(args.seed)
@@ -152,47 +178,79 @@ def cmd_apps(args: argparse.Namespace) -> None:
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
-    """Table 1: cache penalties per application per Q."""
-    registry = None
-    if getattr(args, "metrics", False):
-        from repro.obs import MetricsRegistry
+    """Table 1: cache penalties per application per Q (one sweep cell
+    per (app, Q) pair; ``--cache-dir`` makes reruns serve from cache)."""
+    from repro.sweep import SweepSpec, run_sweep
+    from repro.sweep.cells import merged_metrics, merged_profile, penalty_table
 
-        registry = MetricsRegistry()
-    profiler = None
-    if getattr(args, "profile", False):
-        from repro.obs.profiling import SpanProfiler
-
-        profiler = SpanProfiler()
-    experiment = PenaltyExperiment(
-        scale=args.scale, seed=args.seed, metrics=registry, profiler=profiler,
-        backend=args.backend,
+    spec = SweepSpec(
+        name="table1",
+        kind="table1",
+        seeds=(args.seed,),
+        scale=args.scale,
+        backend=getattr(args, "backend", None),
     )
-    apps = [APPLICATIONS[n] for n in ("MATRIX", "MVA", "GRAVITY")]
-    table = experiment.table1(apps)
-    print(render_table1(table))
-    if registry is not None:
-        _print_snapshot(registry.snapshot())
-    if profiler is not None:
-        _print_profile(profiler.snapshot())
+    sweep = run_sweep(
+        spec,
+        cache=_sweep_cache(args),
+        collect_metrics=getattr(args, "metrics", False),
+        collect_profile=getattr(args, "profile", False),
+    )
+    payloads = sweep.payloads
+    print(render_table1(penalty_table(spec, payloads)))
+    snapshot = merged_metrics(spec, payloads)
+    if snapshot is not None:
+        _print_snapshot(snapshot)
+    profile = merged_profile(spec, payloads)
+    if profile is not None:
+        _print_profile(profile)
 
 
 def _mix_ids(args: argparse.Namespace) -> typing.List[int]:
     return [args.mix] if args.mix else sorted(MIXES)
 
 
+def _mix_sweep(
+    args: argparse.Namespace,
+    name: str,
+    mix_ids: typing.Sequence[int],
+    policies: typing.Sequence[typing.Any],
+) -> typing.Iterator[typing.Tuple[int, typing.Any]]:
+    """Run a (mixes x policies x seeds) grid as ONE sweep and yield the
+    per-mix comparisons, in mix order.
+
+    Replaces the per-figure fan-out loops: every (mix, policy, seed)
+    triple is a cached cell, so ``fig5 --cache-dir X`` and a later
+    ``table4 --cache-dir X`` share any overlapping work, and a killed
+    run resumes where it stopped.
+    """
+    from repro.sweep import SweepSpec, run_sweep
+    from repro.sweep.cells import mix_comparison
+
+    spec = SweepSpec(
+        name=name,
+        kind="mix",
+        mixes=tuple(mix_ids),
+        policies=tuple(p.name for p in policies),
+        seeds=tuple(args.seed + r for r in range(args.replications)),
+    )
+    sweep = run_sweep(
+        spec,
+        cache=_sweep_cache(args),
+        workers=getattr(args, "workers", None),
+        collect_metrics=getattr(args, "metrics", False),
+        collect_profile=getattr(args, "profile", False),
+    )
+    payloads = sweep.payloads
+    for mix_id in mix_ids:
+        yield mix_id, mix_comparison(spec, payloads, mix_id)
+
+
 def cmd_fig5(args: argparse.Namespace) -> None:
     """Figure 5 + Table 3: dynamic policies relative to Equipartition."""
     csv_rows: typing.List[typing.Sequence[object]] = []
-    for mix_id in _mix_ids(args):
-        comparison = compare_policies(
-            mix_id,
-            (EQUIPARTITION,) + _DYNAMIC_POLICIES,
-            replications=args.replications,
-            base_seed=args.seed,
-            workers=getattr(args, "workers", None),
-            collect_metrics=getattr(args, "metrics", False),
-            collect_profile=getattr(args, "profile", False),
-        )
+    policies = (EQUIPARTITION,) + _DYNAMIC_POLICIES
+    for mix_id, comparison in _mix_sweep(args, "fig5", _mix_ids(args), policies):
         print(render_relative_rt_table(comparison))
         print()
         print(render_table3(comparison))
@@ -200,9 +258,7 @@ def cmd_fig5(args: argparse.Namespace) -> None:
         _print_comparison_metrics(comparison)
         _print_comparison_profiles(comparison)
         if getattr(args, "analyze", False):
-            _print_analysis(
-                [mix_id], (EQUIPARTITION,) + _DYNAMIC_POLICIES, args.seed
-            )
+            _print_analysis([mix_id], policies, args.seed)
         if args.csv:
             for policy in comparison.policies():
                 for job, summary in comparison.summaries[policy].items():
@@ -219,64 +275,59 @@ def cmd_fig5(args: argparse.Namespace) -> None:
                     )
     if args.csv:
         from repro.reporting.export import rows_to_csv
+        from repro.reporting.obs_export import write_artifact
 
         headers = [
             "mix", "policy", "job", "response_time_s",
             "n_reallocations", "pct_affinity", "average_allocation",
         ]
-        with open(args.csv, "w", encoding="utf-8") as handle:
-            handle.write(rows_to_csv(headers, csv_rows))
+        write_artifact(args.csv, rows_to_csv(headers, csv_rows))
         print(f"wrote {len(csv_rows)} rows to {args.csv}")
 
 
 def cmd_fig6(args: argparse.Namespace) -> None:
     """Figure 6: Dyn-Aff-NoPri relative to Equipartition."""
-    for mix_id in _mix_ids(args):
-        comparison = compare_policies(
-            mix_id,
-            (EQUIPARTITION, DYN_AFF_NOPRI),
-            replications=args.replications,
-            base_seed=args.seed,
-            workers=getattr(args, "workers", None),
-            collect_metrics=getattr(args, "metrics", False),
-            collect_profile=getattr(args, "profile", False),
-        )
+    policies = (EQUIPARTITION, DYN_AFF_NOPRI)
+    for mix_id, comparison in _mix_sweep(args, "fig6", _mix_ids(args), policies):
         print(render_relative_rt_table(comparison))
         print()
         _print_comparison_metrics(comparison)
         _print_comparison_profiles(comparison)
         if getattr(args, "analyze", False):
-            _print_analysis([mix_id], (EQUIPARTITION, DYN_AFF_NOPRI), args.seed)
+            _print_analysis([mix_id], policies, args.seed)
 
 
 def cmd_table4(args: argparse.Namespace) -> None:
     """Table 4: homogeneous workloads, Dyn-Aff vs Dyn-Aff-NoPri."""
-    registry = None
-    if getattr(args, "metrics", False):
-        from repro.obs import MetricsRegistry
+    from repro.sweep import SweepSpec, run_sweep
+    from repro.sweep.cells import (
+        mean_response_table,
+        merged_metrics,
+        merged_profile,
+    )
 
-        registry = MetricsRegistry()
-    profiler = None
-    if getattr(args, "profile", False):
-        from repro.obs.profiling import SpanProfiler
-
-        profiler = SpanProfiler()
-    results: typing.Dict[int, typing.Dict[str, float]] = {}
-    for mix_id in (1, 4):
-        results[mix_id] = {}
-        for policy in (DYN_AFF, DYN_AFF_NOPRI):
-            total = 0.0
-            for r in range(args.replications):
-                total += run_mix(
-                    mix_id, policy, seed=args.seed + r,
-                    metrics=registry, profiler=profiler,
-                ).mean_response_time()
-            results[mix_id][policy.name] = total / args.replications
-    print(render_table4(results))
-    if registry is not None:
-        _print_snapshot(registry.snapshot())
-    if profiler is not None:
-        _print_profile(profiler.snapshot())
+    spec = SweepSpec(
+        name="table4",
+        kind="mix",
+        mixes=(1, 4),
+        policies=(DYN_AFF.name, DYN_AFF_NOPRI.name),
+        seeds=tuple(args.seed + r for r in range(args.replications)),
+    )
+    sweep = run_sweep(
+        spec,
+        cache=_sweep_cache(args),
+        workers=getattr(args, "workers", None),
+        collect_metrics=getattr(args, "metrics", False),
+        collect_profile=getattr(args, "profile", False),
+    )
+    payloads = sweep.payloads
+    print(render_table4(mean_response_table(spec, payloads)))
+    snapshot = merged_metrics(spec, payloads)
+    if snapshot is not None:
+        _print_snapshot(snapshot)
+    profile = merged_profile(spec, payloads)
+    if profile is not None:
+        _print_profile(profile)
     if getattr(args, "analyze", False):
         _print_analysis([1, 4], (DYN_AFF, DYN_AFF_NOPRI), args.seed)
 
@@ -393,7 +444,7 @@ def cmd_trace(args: argparse.Namespace) -> None:
     from repro.obs.invariants import check_trace
     from repro.obs.replay import verify_replay
     from repro.obs.store import write_columnar
-    from repro.reporting.obs_export import trace_to_jsonl
+    from repro.reporting.obs_export import trace_to_jsonl, write_artifact
 
     policy = _POLICY_BY_NAME[args.policy]
     mix_id = args.mix if args.mix else 5
@@ -407,8 +458,7 @@ def cmd_trace(args: argparse.Namespace) -> None:
     if args.format == "columnar":
         write_columnar(args.out, tracer.records)
     else:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(trace_to_jsonl(tracer.records))
+        write_artifact(args.out, trace_to_jsonl(tracer.records))
     print(
         f"wrote {len(tracer.records)} records for workload #{mix_id} "
         f"under {policy.name} to {args.out}"
@@ -439,7 +489,10 @@ def cmd_opensys(args: argparse.Namespace) -> None:
     prints a ``=== telemetry ===`` summary after the table.
     """
     from repro.obs.telemetry import TelemetryCollector, progress_line
+    from repro.reporting.obs_export import write_artifact
     from repro.reporting.opensys_report import matrix_to_json, render_matrix_table
+    from repro.sweep import SweepSpec, normalize_seeds, run_sweep
+    from repro.sweep.spec import OPENSYS_SCENARIOS
     from repro.workloads.opensys import (
         SwfScenario,
         built_in_scenarios,
@@ -447,7 +500,23 @@ def cmd_opensys(args: argparse.Namespace) -> None:
         run_scenario,
     )
 
+    seed_values = normalize_seeds(args.seeds, args.seed)
+    policy_names = args.policy or sorted(_POLICY_BY_NAME)
+    policies = [_POLICY_BY_NAME[name] for name in policy_names]
+    collect_metrics = args.metrics or bool(args.metrics_csv)
+
+    collector = None
+    telemetry_sink = None
+    if args.progress:
+        collector = TelemetryCollector()
+
+        def telemetry_sink(snapshot, _collector=collector):
+            _collector(snapshot)
+            print(progress_line(snapshot), file=sys.stderr)
+
     if args.swf:
+        # SWF replays are file-shaped, not declaratively keyable: they run
+        # on the direct matrix runner, never through the result cache.
         scenarios: typing.List[typing.Any] = [
             SwfScenario.from_file(
                 args.swf,
@@ -456,49 +525,65 @@ def cmd_opensys(args: argparse.Namespace) -> None:
                 max_jobs=args.max_jobs,
             )
         ]
+        on_commit = None
+        if args.progress:
+            def on_commit(index, batch):
+                print(
+                    f"[matrix] seed batch {index + 1}/{len(seed_values)} "
+                    "committed",
+                    file=sys.stderr,
+                )
+
+        comparison = run_matrix(
+            scenarios,
+            policies,
+            seeds=seed_values,
+            n_processors=args.processors,
+            workers=args.workers,
+            collect_metrics=collect_metrics,
+            telemetry=telemetry_sink,
+            on_commit=on_commit,
+        )
     else:
-        built = built_in_scenarios(lite=args.lite, n_processors=args.processors)
-        if args.scenario == "all":
-            scenarios = list(built.values())
-        else:
-            scenarios = [built[args.scenario]]
-    policy_names = args.policy or sorted(_POLICY_BY_NAME)
-    policies = [_POLICY_BY_NAME[name] for name in policy_names]
+        from repro.sweep.cells import matrix_comparison
 
-    collector = None
-    telemetry_sink = None
-    on_commit = None
-    if args.progress:
-        collector = TelemetryCollector()
+        spec = SweepSpec(
+            name="opensys",
+            kind="opensys",
+            scenarios=(
+                OPENSYS_SCENARIOS
+                if args.scenario == "all"
+                else (args.scenario,)
+            ),
+            policies=tuple(policy_names),
+            seeds=seed_values,
+            n_processors=args.processors,
+            lite=args.lite,
+        )
+        on_commit_shard = None
+        if args.progress:
+            def on_commit_shard(index, payloads):
+                print(
+                    f"[sweep] shard {index + 1} committed "
+                    f"({len(payloads)} cells)",
+                    file=sys.stderr,
+                )
 
-        def telemetry_sink(snapshot, _collector=collector):
-            _collector(snapshot)
-            print(progress_line(snapshot), file=sys.stderr)
-
-        def on_commit(index, batch):
-            print(
-                f"[matrix] seed batch {index + 1}/{args.seeds} committed",
-                file=sys.stderr,
-            )
-
-    comparison = run_matrix(
-        scenarios,
-        policies,
-        seeds=args.seeds,
-        base_seed=args.seed,
-        n_processors=args.processors,
-        workers=args.workers,
-        collect_metrics=args.metrics or bool(args.metrics_csv),
-        telemetry=telemetry_sink,
-        on_commit=on_commit,
-    )
+        sweep = run_sweep(
+            spec,
+            cache=_sweep_cache(args),
+            workers=args.workers,
+            collect_metrics=collect_metrics,
+            telemetry=telemetry_sink,
+            on_commit=on_commit_shard,
+        )
+        comparison = matrix_comparison(spec, sweep.payloads)
     print(render_matrix_table(comparison))
     if collector is not None:
         print(TELEMETRY_MARKER)
         print(collector.render_summary(), end="")
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(matrix_to_json(comparison))
+        write_artifact(args.json, matrix_to_json(comparison))
         print(f"wrote matrix JSON to {args.json}")
     if args.metrics:
         for key in sorted(comparison.metrics):
@@ -511,8 +596,7 @@ def cmd_opensys(args: argparse.Namespace) -> None:
             [comparison.metrics[key] for key in keys],
             labels=["/".join(key) for key in keys],
         )
-        with open(args.metrics_csv, "w", encoding="utf-8") as handle:
-            handle.write(csv_text)
+        write_artifact(args.metrics_csv, csv_text)
         print(f"wrote per-cell metrics CSV to {args.metrics_csv}")
 
     if args.trace:
@@ -520,11 +604,17 @@ def cmd_opensys(args: argparse.Namespace) -> None:
         from repro.obs.invariants import check_trace
         from repro.obs.replay import verify_replay
         from repro.obs.store import write_columnar
-        from repro.reporting.obs_export import trace_to_jsonl
+        from repro.reporting.obs_export import trace_to_jsonl, write_artifact
 
+        if args.swf:
+            trace_scenario = scenarios[0]
+        else:
+            trace_scenario = built_in_scenarios(
+                lite=args.lite, n_processors=args.processors
+            )[spec.scenarios[0]]
         tracer = Tracer()
         result = run_scenario(
-            scenarios[0],
+            trace_scenario,
             policies[0],
             seed=args.seed,
             n_processors=args.processors,
@@ -535,8 +625,7 @@ def cmd_opensys(args: argparse.Namespace) -> None:
         if args.trace_format == "columnar":
             write_columnar(args.trace, tracer.records)
         else:
-            with open(args.trace, "w", encoding="utf-8") as handle:
-                handle.write(trace_to_jsonl(tracer.records))
+            write_artifact(args.trace, trace_to_jsonl(tracer.records))
         print(
             f"wrote {len(tracer.records)} records for scenario "
             f"{result.scenario!r} under {result.policy} to {args.trace}"
@@ -573,6 +662,7 @@ def cmd_analyze(args: argparse.Namespace) -> None:
         intervals_to_csv,
         intervals_to_json,
         stream_trace,
+        write_artifact,
     )
     from repro.reporting.timeline import render_cpu_timeline
 
@@ -611,20 +701,16 @@ def cmd_analyze(args: argparse.Namespace) -> None:
             width=args.timeline_width,
         ))
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(attribution_to_json(attribution))
+        write_artifact(args.json, attribution_to_json(attribution))
         print(f"wrote attribution JSON to {args.json}")
     if args.csv:
-        with open(args.csv, "w", encoding="utf-8") as handle:
-            handle.write(attribution_to_csv(attribution))
+        write_artifact(args.csv, attribution_to_csv(attribution))
         print(f"wrote attribution CSV to {args.csv}")
     if args.intervals_json:
-        with open(args.intervals_json, "w", encoding="utf-8") as handle:
-            handle.write(intervals_to_json(series))
+        write_artifact(args.intervals_json, intervals_to_json(series))
         print(f"wrote interval series JSON to {args.intervals_json}")
     if args.intervals_csv:
-        with open(args.intervals_csv, "w", encoding="utf-8") as handle:
-            handle.write(intervals_to_csv(series))
+        write_artifact(args.intervals_csv, intervals_to_csv(series))
         print(f"wrote interval series CSV to {args.intervals_csv}")
 
 
@@ -636,7 +722,12 @@ def cmd_diff(args: argparse.Namespace) -> None:
     """
     from repro.obs.analysis import diff_traces
     from repro.reporting.analysis_report import render_diff_report
-    from repro.reporting.obs_export import TraceStreamError, diff_to_json, stream_trace
+    from repro.reporting.obs_export import (
+        TraceStreamError,
+        diff_to_json,
+        stream_trace,
+        write_artifact,
+    )
 
     try:
         diff = diff_traces(
@@ -650,8 +741,7 @@ def cmd_diff(args: argparse.Namespace) -> None:
         raise SystemExit(1)
     print(render_diff_report(diff))
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(diff_to_json(diff))
+        write_artifact(args.json, diff_to_json(diff))
         print(f"wrote diff JSON to {args.json}")
 
 
@@ -704,6 +794,102 @@ def cmd_bench_report(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_sweep(args: argparse.Namespace) -> None:
+    """Declarative sweeps: ``repro sweep run|status|clean spec.{toml,json}``.
+
+    ``run`` expands the spec, serves cached cells, computes the rest in
+    resumable shards (kill it, run it again: only missing cells
+    recompute), and renders the kind-appropriate report.  ``status``
+    reports cache occupancy without running anything; ``clean`` evicts
+    the spec's cells for the current code fingerprint.
+    """
+    from repro.obs.telemetry import TelemetryCollector, progress_line
+    from repro.sweep import ResultCache, load_spec, run_sweep
+    from repro.sweep.executor import sweep_clean, sweep_status
+
+    try:
+        spec = load_spec(args.spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    cache = ResultCache(args.cache_dir)
+
+    if args.sweep_command == "status":
+        status = sweep_status(spec, cache)
+        print(f"sweep '{spec.name}' ({spec.kind}): "
+              f"{status.n_cells} cells, {status.n_cached} cached, "
+              f"{status.n_pending} pending")
+        print(f"cache: {cache.root}")
+        print(f"journal: {status.journal_path or '(none yet)'}")
+        return
+    if args.sweep_command == "clean":
+        removed = sweep_clean(spec, cache)
+        print(f"sweep '{spec.name}': evicted {removed} cached cell(s) "
+              f"from {cache.root}")
+        return
+
+    collector = None
+    telemetry_sink = None
+    on_commit = None
+    if args.progress:
+        collector = TelemetryCollector()
+
+        def telemetry_sink(snapshot, _collector=collector):
+            _collector(snapshot)
+            print(progress_line(snapshot), file=sys.stderr)
+
+        def on_commit(index, payloads):
+            print(
+                f"[sweep] shard {index + 1} committed ({len(payloads)} cells)",
+                file=sys.stderr,
+            )
+
+    sweep = run_sweep(
+        spec,
+        cache=cache,
+        workers=args.workers,
+        force=args.force,
+        collect_metrics=args.metrics,
+        telemetry=telemetry_sink,
+        on_commit=on_commit,
+    )
+    print(f"sweep '{spec.name}' ({spec.kind}): "
+          f"{len(sweep.outcomes)} cells, {sweep.n_hits} cache hits, "
+          f"{sweep.n_computed} computed")
+    print(f"journal: {sweep.journal_path}")
+    payloads = sweep.payloads
+    if spec.kind == "opensys":
+        from repro.reporting.opensys_report import render_matrix_table
+        from repro.sweep.cells import matrix_comparison
+
+        print(render_matrix_table(matrix_comparison(spec, payloads)))
+    elif spec.kind == "table1":
+        from repro.sweep.cells import penalty_table
+
+        for seed in spec.seeds:
+            if len(spec.seeds) > 1:
+                print(f"--- seed {seed} ---")
+            print(render_table1(penalty_table(spec, payloads, seed=seed)))
+    else:  # mix
+        from repro.sweep.cells import mix_comparison
+
+        for mix_id in spec.mixes:
+            comparison = mix_comparison(spec, payloads, mix_id)
+            print(f"workload #{mix_id}: mean response time per policy")
+            for policy in spec.policies:
+                print(f"  {policy:16s} "
+                      f"{comparison.mean_response_time(policy):9.2f} s")
+    if args.metrics:
+        from repro.sweep.cells import merged_metrics
+
+        snapshot = merged_metrics(spec, payloads)
+        if snapshot is not None:
+            _print_snapshot(snapshot)
+    if collector is not None:
+        print(TELEMETRY_MARKER)
+        print(collector.render_summary(), end="")
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     """Every experiment in paper order."""
     cmd_apps(args)
@@ -750,6 +936,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache and reference-generator engine "
         "(default: REPRO_BACKEND env var, then scalar)",
     )
+    p_t1.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="serve (app, Q) cells from this content-addressed result "
+        "cache, computing and storing only what is missing",
+    )
     p_t1.set_defaults(func=cmd_table1)
 
     for name, func, help_text in (
@@ -786,6 +977,12 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fig5":
             p.add_argument("--csv", type=str, default=None,
                            help="also write per-job metrics to this CSV file")
+        if name in ("fig5", "fig6"):
+            p.add_argument(
+                "--cache-dir", type=str, default=None, metavar="DIR",
+                help="serve (mix, policy, seed) cells from this "
+                "content-addressed result cache",
+            )
         p.set_defaults(func=func)
 
     p_t4 = sub.add_parser("table4", help="Table 4: homogeneous workloads")
@@ -801,6 +998,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_t4.add_argument(
         "--profile", action="store_true",
         help="print a wall-clock simulator self-profile after the table",
+    )
+    p_t4.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="serve (mix, policy, seed) cells from this content-addressed "
+        "result cache (shared with fig5/fig6 sweeps)",
     )
     p_t4.set_defaults(func=cmd_table4)
 
@@ -856,8 +1058,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy to include, repeatable (default: all five)",
     )
     p_os.add_argument(
-        "--seeds", type=int, default=3,
-        help="number of seeds per cell, starting at --seed (default: 3)",
+        "--seeds", type=_seeds_arg, default=3, metavar="N|A,B,...",
+        help="seeds per cell: a count starting at --seed (default: 3) or "
+        "an explicit comma-separated list; duplicates are rejected",
     )
     p_os.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -915,7 +1118,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream live per-cell heartbeats to stderr and print a "
         "telemetry summary after the table",
     )
+    p_os.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="serve built-in (scenario, policy, seed) cells from this "
+        "content-addressed result cache (ignored for --swf replays)",
+    )
     p_os.set_defaults(func=cmd_opensys)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="declarative sweeps over a content-addressed result cache",
+    )
+    sw_sub = p_sw.add_subparsers(dest="sweep_command", required=True)
+    sw_common = []
+    for sw_name, sw_help in (
+        ("run", "expand the spec, serve cached cells, compute the rest"),
+        ("status", "report cache occupancy for the spec without running"),
+        ("clean", "evict the spec's cached cells (current code only)"),
+    ):
+        p = sw_sub.add_parser(sw_name, help=sw_help)
+        p.add_argument("spec", type=str, help="sweep spec file (.toml or .json)")
+        p.add_argument(
+            "--cache-dir", type=str, default=".repro-cache", metavar="DIR",
+            help="result cache root (default: .repro-cache)",
+        )
+        p.set_defaults(func=cmd_sweep)
+        sw_common.append(p)
+    p_sw_run = sw_common[0]
+    p_sw_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="compute pending cells across N worker processes; results "
+        "are identical to a serial run (default: serial)",
+    )
+    p_sw_run.add_argument(
+        "--force", action="store_true",
+        help="recompute every cell even if cached (results are re-stored)",
+    )
+    p_sw_run.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-cell metrics and print the merged snapshot",
+    )
+    p_sw_run.add_argument(
+        "--progress", action="store_true",
+        help="stream live per-cell heartbeats to stderr and print a "
+        "telemetry summary",
+    )
 
     p_an = sub.add_parser(
         "analyze",

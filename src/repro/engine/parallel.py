@@ -27,11 +27,13 @@ process boundary.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 import typing
 
 from repro.engine.stats import ConfidenceInterval, SampleStats
 
 T = typing.TypeVar("T")
+U = typing.TypeVar("U")
 
 #: Default absolute half-width below which a metric counts as converged
 #: regardless of its relative half-width.  This is the escape hatch for
@@ -216,3 +218,32 @@ def map_replications(
             if on_commit is not None:
                 on_commit(replication, results[-1])
         return results
+
+
+def _apply_item(
+    fn: typing.Callable[[U], T], items: typing.Tuple[U, ...], index: int
+) -> T:
+    """Picklable bridge from an item index to ``fn(items[index])``."""
+    return fn(items[index])
+
+
+def map_items(
+    fn: typing.Callable[[U], T],
+    items: typing.Sequence[U],
+    workers: typing.Optional[int] = None,
+    on_commit: typing.Optional[typing.Callable[[int, T], None]] = None,
+) -> typing.List[T]:
+    """Map ``fn`` over arbitrary items with ordered commits.
+
+    The item-shaped face of :func:`map_replications`: result ``i`` is
+    always ``fn(items[i])`` and ``on_commit`` fires in item order for
+    any worker count.  With ``workers > 1`` both ``fn`` and the items
+    cross a process boundary, so both must pickle.
+    """
+    item_tuple = tuple(items)
+    return map_replications(
+        functools.partial(_apply_item, fn, item_tuple),
+        len(item_tuple),
+        workers=workers,
+        on_commit=on_commit,
+    )

@@ -261,6 +261,33 @@ def _merged_profiles(
     }
 
 
+def comparison_from_replications(
+    mix: typing.Union[int, WorkloadMix],
+    replications: typing.Sequence[Replication],
+) -> MixComparison:
+    """Assemble a :class:`MixComparison` from pre-computed replications.
+
+    The sweep layer's entry point: it reconstructs ``Replication``
+    objects from cached cell payloads and summarizes them through the
+    same ``_summaries_from`` / ``_merged_metrics`` / ``_merged_profiles``
+    pipeline :func:`compare_policies` uses, so a cache-served comparison
+    is byte-identical to a freshly run one.  ``replications`` must be in
+    seed order (merge order is part of the determinism contract).
+    """
+    if isinstance(mix, int):
+        mix = MIXES[mix]
+    results = list(replications)
+    if not results:
+        raise ValueError("need at least one replication")
+    return MixComparison(
+        mix=mix,
+        n_replications=len(results),
+        summaries=_summaries_from(results),
+        metrics=_merged_metrics(results),
+        profiles=_merged_profiles(results),
+    )
+
+
 def compare_policies(
     mix: typing.Union[int, WorkloadMix],
     policies: typing.Sequence[Policy],

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import typing
 
+from repro import ioutil
 from repro.obs.records import TraceRecord, record_from_dict, record_to_dict
 from repro.obs.store.format import (
     DEFAULT_CHUNK_RECORDS,
@@ -127,10 +128,11 @@ def columnar_to_jsonl(src: str, dst: str) -> int:
     """Convert a columnar trace file to JSONL; returns the record count.
 
     The output is byte-identical to what the original Tracer's JSONL
-    export produced for the same record stream.
+    export produced for the same record stream.  The write is atomic: a
+    crash mid-conversion leaves ``dst`` untouched rather than truncated.
     """
     count = 0
-    with open(dst, "w", encoding="utf-8", newline="") as fh:
+    with ioutil.atomic_open(dst, "w") as fh:
         for record in iter_columnar(src):
             fh.write(json.dumps(record_to_dict(record), sort_keys=True))
             fh.write("\n")

@@ -44,14 +44,18 @@ time.  Neither ever materializes the whole trace.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import io
 import json
+import os
 import struct
+import tempfile
 import typing
 import zlib
 
+from repro import ioutil
 from repro.obs.records import (
     RECORD_KINDS,
     TraceRecord,
@@ -170,8 +174,20 @@ class ColumnarTraceWriter:
     ) -> None:
         if chunk_records < 1:
             raise ValueError("chunk_records must be positive")
+        self._dst_path: typing.Optional[str] = None
+        self._tmp_path: typing.Optional[str] = None
         if isinstance(target, str):
-            self._fh: typing.BinaryIO = open(target, "wb")
+            # Crash-safe: stream into a same-directory temp file and only
+            # os.replace it over the destination once the footer and
+            # digest tail are on disk.  A process killed mid-write leaves
+            # the destination untouched (at worst an orphaned .tmp-*).
+            directory = os.path.dirname(os.path.abspath(target)) or "."
+            fd, self._tmp_path = tempfile.mkstemp(
+                prefix=ioutil.TMP_PREFIX + os.path.basename(target) + "-",
+                dir=directory,
+            )
+            self._fh: typing.BinaryIO = os.fdopen(fd, "wb")
+            self._dst_path = target
             self._owns_fh = True
         else:
             self._fh = target
@@ -280,14 +296,40 @@ class ColumnarTraceWriter:
         self._fh.write(END_MAGIC)
         self._fh.flush()
         if self._owns_fh:
+            os.fsync(self._fh.fileno())
             self._fh.close()
+            if self._tmp_path is not None:
+                assert self._dst_path is not None
+                os.replace(self._tmp_path, self._dst_path)
+                self._tmp_path = None
         self._closed = True
+
+    def abort(self) -> None:
+        """Discard the write: close without ever touching the destination.
+
+        Only meaningful for path targets (caller-owned handles are left
+        to the caller).  Idempotent; a no-op after :meth:`close`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_fh:
+            self._fh.close()
+            if self._tmp_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(self._tmp_path)
+                self._tmp_path = None
 
     def __enter__(self) -> "ColumnarTraceWriter":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        # A clean exit publishes; an exception inside the block must not
+        # leave a valid-looking but incomplete trace at the destination.
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 def write_columnar(

@@ -70,20 +70,29 @@ def load_benchmark_means(path: str) -> typing.Dict[str, float]:
     except OSError as exc:
         raise ValueError(f"cannot read benchmark JSON {path!r}: {exc}") from exc
     except json.JSONDecodeError as exc:
+        # str(exc) carries the line/column of the damage.
         raise ValueError(f"{path}: not valid JSON ({exc})") from exc
-    benchmarks = payload.get("benchmarks")
+    # A top-level list/string/number is valid JSON but not pytest-benchmark
+    # output; .get on it would be an AttributeError, i.e. a raw traceback.
+    benchmarks = payload.get("benchmarks") if isinstance(payload, dict) else None
     if not isinstance(benchmarks, list):
         raise ValueError(
             f"{path}: no 'benchmarks' list; not pytest-benchmark output"
         )
     means: typing.Dict[str, float] = {}
-    for entry in benchmarks:
+    for i, entry in enumerate(benchmarks):
         try:
-            means[entry["name"]] = float(entry["stats"]["mean"])
-        except (KeyError, TypeError) as exc:
+            name = entry["name"]
+            mean = float(entry["stats"]["mean"])
+        except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(
-                f"{path}: malformed benchmark entry ({exc})"
+                f"{path}: malformed benchmark entry #{i} ({exc})"
             ) from exc
+        if not isinstance(name, str):
+            raise ValueError(
+                f"{path}: benchmark entry #{i} has a non-string name {name!r}"
+            )
+        means[name] = mean
     return means
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import typing
 
+from repro import ioutil
 from repro.obs.analysis.attribution import BUCKETS, TimeAttribution
 from repro.obs.analysis.diff import TraceDiff
 from repro.obs.analysis.intervals import WINDOW_FIELDS, IntervalSeries
@@ -39,6 +40,19 @@ from repro.reporting.export import rows_to_csv
 
 #: Time-attribution export schema identifier.
 ATTRIBUTION_SCHEMA = "repro.analysis.attribution/1"
+
+
+def write_artifact(path: str, text: str) -> None:
+    """Write an exporter's output to ``path`` crash-safely.
+
+    All the serializers in this module return strings; this is the one
+    sanctioned way to put them on disk.  The write is atomic (same-
+    directory temp file + :func:`os.replace`), so a process killed
+    mid-write can never leave a truncated artifact at the destination —
+    the loaders' truncation refusal then only ever fires on artifacts
+    damaged by something other than our own writers.
+    """
+    ioutil.atomic_write_text(path, text)
 
 
 class TraceStreamError(ValueError):

@@ -36,6 +36,7 @@ from repro.obs.telemetry import (
     TelemetryChannel,
     TelemetrySink,
 )
+from repro.sweep.spec import normalize_seeds
 from repro.threads.job import Job
 from repro.workloads.opensys.arrivals import (
     ArrivalProcess,
@@ -337,7 +338,7 @@ def _run_seed_batch(
     replication: int,
     scenarios: typing.Tuple[ScenarioLike, ...],
     policies: typing.Tuple[Policy, ...],
-    base_seed: int,
+    seed_values: typing.Tuple[int, ...],
     n_processors: int,
     machine: MachineSpec,
     collect_metrics: bool,
@@ -349,7 +350,7 @@ def _run_seed_batch(
     pickle it into worker processes.  With a ``telemetry_sink``, each
     cell streams heartbeats home labelled ``scenario/policy/seedN``.
     """
-    seed = base_seed + replication
+    seed = seed_values[replication]
     out: typing.Dict[
         typing.Tuple[str, str], typing.Tuple[OpenSystemResult, object]
     ] = {}
@@ -379,7 +380,7 @@ def _run_seed_batch(
 def run_matrix(
     scenarios: typing.Sequence[ScenarioLike],
     policies: typing.Sequence[Policy],
-    seeds: int = 3,
+    seeds: typing.Union[int, typing.Sequence[int]] = 3,
     base_seed: int = 0,
     n_processors: int = 16,
     machine: MachineSpec = SEQUENT_SYMMETRY,
@@ -389,6 +390,12 @@ def run_matrix(
     on_commit: typing.Optional[typing.Callable[[int, object], None]] = None,
 ) -> MatrixComparison:
     """Run the (scenario x policy x seed) grid, optionally in parallel.
+
+    ``seeds`` is either a count (``3`` runs ``base_seed .. base_seed+2``)
+    or an explicit seed list; duplicates are rejected by the shared
+    :func:`~repro.sweep.spec.normalize_seeds` validator, since a repeated
+    seed reruns the identical simulation and double-weights it in every
+    pooled statistic.
 
     Parallelism is over seeds (one task per seed runs every cell), with
     results committed in seed order — output is bit-identical for any
@@ -400,8 +407,7 @@ def run_matrix(
     seed's batch commits, in seed order.  Both are observational only —
     attaching them never changes the sweep's results.
     """
-    if seeds <= 0:
-        raise ValueError("need at least one seed")
+    seed_values = normalize_seeds(seeds, base_seed)
     if not scenarios or not policies:
         raise ValueError("need at least one scenario and one policy")
     channel = (
@@ -414,14 +420,14 @@ def run_matrix(
             _run_seed_batch,
             scenarios=tuple(scenarios),
             policies=tuple(policies),
-            base_seed=base_seed,
+            seed_values=seed_values,
             n_processors=n_processors,
             machine=machine,
             collect_metrics=collect_metrics,
             telemetry_sink=channel.sink if channel is not None else None,
         )
         batches = map_replications(
-            run_once, seeds, workers=workers, on_commit=on_commit
+            run_once, len(seed_values), workers=workers, on_commit=on_commit
         )
     finally:
         if channel is not None:
@@ -446,7 +452,7 @@ def run_matrix(
         for key, cell_results in results.items()
     }
     return MatrixComparison(
-        seeds=tuple(base_seed + r for r in range(seeds)),
+        seeds=seed_values,
         scenarios=tuple(scenario_names),
         policies=tuple(p.name for p in policies),
         results={key: tuple(value) for key, value in results.items()},

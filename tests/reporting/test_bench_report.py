@@ -95,6 +95,90 @@ class TestCompare:
             compare_benchmarks(base, base, threshold=0)
 
 
+class TestMoreLoadFailures:
+    def test_top_level_list_is_not_benchmark_output(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps([{"name": "t"}]), encoding="utf-8")
+        with pytest.raises(ValueError, match="not pytest-benchmark output"):
+            load_benchmark_means(str(path))
+
+    def test_non_string_name(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"benchmarks": [{"name": 7, "stats": {"mean": 1.0}}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="non-string name"):
+            load_benchmark_means(str(path))
+
+    def test_non_numeric_mean_is_malformed(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"benchmarks": [
+                {"name": "t", "stats": {"mean": "fast"}}
+            ]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="malformed benchmark entry #0"):
+            load_benchmark_means(str(path))
+
+
+class TestCli:
+    """`repro bench-report` turns every load failure into a diagnostic on
+    stderr and exit 1 — never a raw traceback."""
+
+    def run(self, argv, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        captured = capsys.readouterr()
+        assert excinfo.value.code == 1
+        return captured.err
+
+    def test_missing_fresh_file(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", {"t": 1.0})
+        err = self.run(
+            ["bench-report", str(tmp_path / "nope.json"), "--baseline", base],
+            capsys,
+        )
+        assert "error:" in err and "cannot read" in err
+
+    def test_invalid_json_in_fresh(self, tmp_path, capsys):
+        base = write_bench(tmp_path / "base.json", {"t": 1.0})
+        bad = tmp_path / "fresh.json"
+        bad.write_text("{broken", encoding="utf-8")
+        err = self.run(
+            ["bench-report", str(bad), "--baseline", base], capsys
+        )
+        assert "error:" in err and "not valid JSON" in err
+
+    def test_malformed_baseline(self, tmp_path, capsys):
+        fresh = write_bench(tmp_path / "fresh.json", {"t": 1.0})
+        bad = tmp_path / "base.json"
+        bad.write_text(json.dumps({"benchmarks": [{}]}), encoding="utf-8")
+        err = self.run(
+            ["bench-report", fresh, "--baseline", str(bad)], capsys
+        )
+        assert "error:" in err and "malformed" in err
+
+    def test_missing_baseline(self, tmp_path, capsys):
+        fresh = write_bench(tmp_path / "fresh.json", {"t": 1.0})
+        err = self.run(
+            ["bench-report", fresh,
+             "--baseline", str(tmp_path / "gone.json")],
+            capsys,
+        )
+        assert "error:" in err and "cannot read" in err
+
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        fresh = write_bench(tmp_path / "fresh.json", {"t": 1.0})
+        assert main(["bench-report", fresh, "--baseline", fresh]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+
 class TestRatio:
     def test_zero_baseline_nonzero_fresh_is_infinite(self):
         assert BenchDelta("t", 0.0, 0.5).ratio == float("inf")

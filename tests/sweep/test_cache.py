@@ -1,0 +1,150 @@
+"""Content-addressed result cache: keys, commit protocol, damage handling."""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.sweep.cache import (
+    RESULT_SCHEMA,
+    ResultCache,
+    cell_key,
+    code_fingerprint,
+)
+from repro.sweep.spec import SweepCell
+
+FP = "f" * 64  # a fixed fingerprint so key tests never walk the source tree
+
+
+def _cell(seed=0, **extra):
+    config = {"scenario": "steady", "policy": "Dyn-Aff", "seed": seed}
+    config.update(extra)
+    return SweepCell.make("opensys", config)
+
+
+def _payload(value=1.5):
+    return {"schema": RESULT_SCHEMA, "kind": "opensys",
+            "data": {"makespan": value, "jobs": {"a": [1, 2]}}}
+
+
+class TestCellKey:
+    def test_shape_and_determinism(self):
+        key = cell_key(_cell(), FP)
+        assert re.fullmatch(r"[0-9a-f]{64}", key)
+        assert cell_key(_cell(), FP) == key
+
+    def test_config_change_changes_key(self):
+        assert cell_key(_cell(seed=0), FP) != cell_key(_cell(seed=1), FP)
+        assert cell_key(_cell(), FP) != cell_key(_cell(lite=True), FP)
+
+    def test_kind_is_part_of_the_key(self):
+        a = SweepCell(kind="mix", config_json=_cell().config_json)
+        b = SweepCell(kind="opensys", config_json=_cell().config_json)
+        assert cell_key(a, FP) != cell_key(b, FP)
+
+    def test_fingerprint_is_part_of_the_key(self):
+        assert cell_key(_cell(), FP) != cell_key(_cell(), "0" * 64)
+
+    def test_default_fingerprint_is_the_source_tree_hash(self):
+        assert cell_key(_cell()) == cell_key(_cell(), code_fingerprint())
+
+
+class TestCodeFingerprint:
+    def test_stable_and_well_formed(self):
+        fp = code_fingerprint()
+        assert re.fullmatch(r"[0-9a-f]{64}", fp)
+        assert code_fingerprint() == fp
+
+
+class TestStoreLoad:
+    def test_miss_is_none(self, tmp_path):
+        assert ResultCache(str(tmp_path)).load("ab" * 32) is None
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        cache.store(_cell(), key, _payload(), FP)
+        assert cache.has(key)
+        assert cache.load(key) == _payload()
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        value = 0.1 + 0.2  # 0.30000000000000004 — repr round-trips exactly
+        cache.store(_cell(), key, _payload(value), FP)
+        assert cache.load(key)["data"]["makespan"] == value
+
+    def test_store_refuses_unschemad_payload(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ValueError, match="refusing to cache"):
+            cache.store(_cell(), cell_key(_cell(), FP), {"data": {}}, FP)
+
+    def test_provenance_written_alongside(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        cache.store(_cell(), key, _payload(), FP)
+        with open(os.path.join(cache.cell_dir(key), "cell.json")) as fh:
+            provenance = json.load(fh)
+        assert provenance["key"] == key
+        assert provenance["code_fingerprint"] == FP
+        assert provenance["config"] == _cell().config
+
+    def test_missing_result_file_is_a_miss(self, tmp_path):
+        # cell.json without result.json == interrupted store == never ran.
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        os.makedirs(cache.cell_dir(key))
+        with open(os.path.join(cache.cell_dir(key), "cell.json"), "w") as fh:
+            fh.write("{}")
+        assert not cache.has(key)
+        assert cache.load(key) is None
+
+
+class TestDamage:
+    @pytest.mark.parametrize("damage", ["", "{trunc", '"a string"', "[1,2]"])
+    def test_damaged_entry_evicted_and_missed(self, tmp_path, damage):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        cache.store(_cell(), key, _payload(), FP)
+        with open(os.path.join(cache.cell_dir(key), "result.json"), "w") as fh:
+            fh.write(damage)
+        assert cache.load(key) is None
+        assert not os.path.exists(cache.cell_dir(key))  # evicted
+
+    def test_wrong_result_schema_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        cache.store(_cell(), key, _payload(), FP)
+        path = os.path.join(cache.cell_dir(key), "result.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": "something/else"}, fh)
+        assert cache.load(key) is None
+        assert not cache.has(key)
+
+
+class TestEvict:
+    def test_evict_removes_and_prunes_fanout(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cell_key(_cell(), FP)
+        cache.store(_cell(), key, _payload(), FP)
+        assert cache.evict(key)
+        assert not os.path.exists(cache.cell_dir(key))
+        assert not os.path.exists(os.path.dirname(cache.cell_dir(key)))
+
+    def test_evict_keeps_sibling_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key_a = cell_key(_cell(seed=0), FP)
+        # Find a sibling sharing the two-char fanout prefix.
+        seed, key_b = next(
+            (s, k) for s, k in
+            ((s, cell_key(_cell(seed=s), FP)) for s in range(1, 5000))
+            if k[:2] == key_a[:2]
+        )
+        cache.store(_cell(seed=0), key_a, _payload(), FP)
+        cache.store(_cell(seed=seed), key_b, _payload(), FP)
+        assert cache.evict(key_a)
+        assert cache.has(key_b)
+
+    def test_evict_missing_is_false(self, tmp_path):
+        assert not ResultCache(str(tmp_path)).evict("ab" * 32)
